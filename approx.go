@@ -1,0 +1,8 @@
+package light
+
+import "light/internal/approx"
+
+// approxCount adapts the internal estimator to the public types.
+func approxCount(g *Graph, p *Pattern, samples int, seed int64) (approx.Result, error) {
+	return approx.Count(g.g, p.p, samples, seed)
+}

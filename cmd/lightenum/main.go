@@ -1,0 +1,178 @@
+// Command lightenum counts (or lists) the subgraphs of a data graph
+// isomorphic to a pattern, using any of the paper's algorithms.
+//
+// Usage:
+//
+//	lightenum -pattern P2 -graph path.txt [-algo LIGHT] [-workers 8]
+//	          [-kernel HybridBlock] [-timeout 60s] [-print 10]
+//
+// The graph may be an edge-list file (.txt), a binary CSR file written
+// by gengraph (.csr), or the name of a built-in synthetic dataset
+// (yt-s, eu-s, lj-s, ot-s, uk-s, fs-s — optionally with -scale).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"light"
+	"light/internal/gen"
+	"light/internal/graph"
+)
+
+func main() {
+	patName := flag.String("pattern", "triangle", "pattern name (P1..P7, triangle, cliqueK, cycleK, pathK, starK)")
+	graphArg := flag.String("graph", "yt-s", "edge list file, .csr file, or built-in dataset name")
+	scale := flag.Int("scale", 1, "scale for built-in datasets")
+	algoName := flag.String("algo", "LIGHT", "algorithm: SE, LM, MSC, LIGHT")
+	workers := flag.Int("workers", 1, "worker threads (>1 enables work stealing)")
+	kernel := flag.String("kernel", "HybridBlock", "intersection: Merge, MergeBlock, Galloping, Hybrid, HybridBlock")
+	timeout := flag.Duration("timeout", 0, "abort after this long (0 = unlimited)")
+	printN := flag.Int("print", 0, "print the first N matches")
+	outPath := flag.String("out", "", "stream all matches to this file (one line per match)")
+	explain := flag.Bool("explain", false, "print the compiled plan and exit")
+	approx := flag.Int("approx", 0, "estimate the count from this many sampling probes instead of enumerating")
+	flag.Parse()
+
+	g, err := loadGraph(*graphArg, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := light.PatternByName(*patName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := light.Options{Workers: *workers, TimeLimit: *timeout}
+	if opts.Algorithm, err = parseAlgo(*algoName); err != nil {
+		fatal(err)
+	}
+	if opts.Intersection, err = parseKernel(*kernel); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("data graph: %v\npattern:    %v\n", g, p)
+
+	if *explain {
+		text, err := light.Explain(g, p, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+		return
+	}
+	if *approx > 0 {
+		est, hits, err := light.ApproxCount(g, p, *approx, 1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("estimated matches: %.0f (%d/%d probes hit)\n", est, hits, *approx)
+		return
+	}
+
+	var out *bufio.Writer
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = bufio.NewWriterSize(f, 1<<20)
+		defer out.Flush()
+	}
+
+	var res light.Result
+	if *printN > 0 || out != nil {
+		shown := 0
+		res, err = light.Enumerate(g, p, opts, func(m []light.VertexID) bool {
+			if shown < *printN {
+				fmt.Printf("  match %v\n", m)
+				shown++
+			}
+			if out != nil {
+				for i, v := range m {
+					if i > 0 {
+						out.WriteByte(' ')
+					}
+					fmt.Fprintf(out, "%d", v)
+				}
+				out.WriteByte('\n')
+			}
+			return true
+		})
+	} else {
+		res, err = light.Count(g, p, opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("matches:          %d\n", res.Matches)
+	fmt.Printf("time:             %v\n", res.Duration.Round(time.Microsecond))
+	fmt.Printf("order:            %v\n", res.Order)
+	fmt.Printf("intersections:    %d (%.1f%% galloping)\n", res.Intersections, res.GallopingPercent)
+	fmt.Printf("candidate memory: %d bytes\n", res.CandidateMemoryBytes)
+}
+
+func loadGraph(arg string, scale int) (*light.Graph, error) {
+	if strings.HasSuffix(arg, ".csr") {
+		g, err := graph.LoadCSR(arg)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(graph.Reorder(g)), nil
+	}
+	if _, err := os.Stat(arg); err == nil {
+		return light.LoadEdgeList(arg)
+	}
+	d, err := gen.ByName(arg, scale)
+	if err != nil {
+		return nil, fmt.Errorf("%q is neither a file nor a dataset: %v", arg, err)
+	}
+	return wrap(d.Make()), nil
+}
+
+// wrap adapts an internal graph to the public type via its edge list.
+// cmd packages live in the same module, but the public constructor keeps
+// the path honest.
+func wrap(g *graph.Graph) *light.Graph {
+	edges := make([][2]light.VertexID, 0, g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(light.VertexID(v)) {
+			if light.VertexID(v) < w {
+				edges = append(edges, [2]light.VertexID{light.VertexID(v), w})
+			}
+		}
+	}
+	return light.NewGraph(g.NumVertices(), edges)
+}
+
+func parseAlgo(s string) (light.Algorithm, error) {
+	switch strings.ToUpper(s) {
+	case "LIGHT":
+		return light.LIGHT, nil
+	case "SE":
+		return light.SE, nil
+	case "LM":
+		return light.LM, nil
+	case "MSC":
+		return light.MSC, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func parseKernel(s string) (light.Intersection, error) {
+	for _, k := range []light.Intersection{light.HybridBlock, light.Merge, light.MergeBlock, light.Galloping, light.Hybrid} {
+		if strings.EqualFold(k.String(), s) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown kernel %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lightenum:", err)
+	os.Exit(1)
+}

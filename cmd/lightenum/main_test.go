@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"light"
+	"light/internal/gen"
+)
+
+func TestParseAlgo(t *testing.T) {
+	for name, want := range map[string]light.Algorithm{
+		"LIGHT": light.LIGHT, "light": light.LIGHT,
+		"SE": light.SE, "lm": light.LM, "MSC": light.MSC,
+	} {
+		got, err := parseAlgo(name)
+		if err != nil || got != want {
+			t.Errorf("parseAlgo(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseAlgo("bogus"); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+}
+
+func TestParseKernel(t *testing.T) {
+	got, err := parseKernel("hybridblock")
+	if err != nil || got != light.HybridBlock {
+		t.Fatalf("parseKernel = %v, %v", got, err)
+	}
+	if _, err := parseKernel("avx"); err == nil {
+		t.Error("bogus kernel accepted")
+	}
+}
+
+func TestWrapPreservesCounts(t *testing.T) {
+	internal := gen.BarabasiAlbert(150, 4, 1)
+	pub := wrap(internal)
+	if int64(pub.NumEdges()) != internal.NumEdges() || pub.NumVertices() != internal.NumVertices() {
+		t.Fatalf("wrap changed size: %v vs %v", pub, internal)
+	}
+}
+
+func TestLoadGraphDataset(t *testing.T) {
+	g, err := loadGraph("yt-s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if _, err := loadGraph("no-such-thing", 1); err == nil {
+		t.Fatal("bogus graph source accepted")
+	}
+}

@@ -1,0 +1,99 @@
+// Graphlet kernel computation (the paper's fourth motivating
+// application, [22] in its references): represent each graph by its
+// vector of small-subgraph counts and compare graphs by the cosine
+// similarity of those vectors — the graphlet kernel used for graph
+// classification.
+//
+// Run with:
+//
+//	go run ./examples/graphlets
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"light"
+)
+
+// graphletNames are the subgraph features: the connected 3- and
+// 4-vertex patterns reachable through the public catalog.
+var graphletNames = []string{"path3", "triangle", "path4", "star3", "P1", "P2", "P3"}
+
+func main() {
+	graphs := map[string]*light.Graph{
+		"social-A (BA k=4)": light.GenerateBarabasiAlbert(900, 4, 1),
+		"social-B (BA k=4)": light.GenerateBarabasiAlbert(900, 4, 2),
+		"web-C  (RMAT)":     light.GenerateRMAT(10, 4, 3),
+		"random-D (ER)":     light.GenerateErdosRenyi(900, 3600, 4),
+		"lattice-E (grid)":  light.GenerateGrid(30, 30),
+	}
+
+	names := []string{"social-A (BA k=4)", "social-B (BA k=4)", "web-C  (RMAT)", "random-D (ER)", "lattice-E (grid)"}
+	vectors := map[string][]float64{}
+	for _, gname := range names {
+		vectors[gname] = graphletVector(graphs[gname])
+	}
+
+	fmt.Println("graphlet count vectors (log-scaled):")
+	fmt.Printf("%-20s", "")
+	for _, f := range graphletNames {
+		fmt.Printf(" %9s", f)
+	}
+	fmt.Println()
+	for _, gname := range names {
+		fmt.Printf("%-20s", gname)
+		for _, v := range vectors[gname] {
+			fmt.Printf(" %9.2f", v)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ncosine similarity of graphlet vectors:")
+	fmt.Printf("%-20s", "")
+	for _, gname := range names {
+		fmt.Printf(" %9s", gname[:8])
+	}
+	fmt.Println()
+	for _, a := range names {
+		fmt.Printf("%-20s", a)
+		for _, b := range names {
+			fmt.Printf(" %9.3f", cosine(vectors[a], vectors[b]))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe two preferential-attachment graphs are near-identical under the")
+	fmt.Println("kernel; the lattice (no triangles at all) is the clear outlier.")
+}
+
+// graphletVector counts each feature pattern and log-scales the counts
+// (graphlet counts span orders of magnitude).
+func graphletVector(g *light.Graph) []float64 {
+	vec := make([]float64, len(graphletNames))
+	for i, f := range graphletNames {
+		p, err := light.PatternByName(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := light.Count(g, p, light.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		vec[i] = math.Log1p(float64(res.Matches))
+	}
+	return vec
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

@@ -1,0 +1,132 @@
+// Labeled subgraph matching: find typed structures in a heterogeneous
+// network. We model a tiny "collaboration platform" with three vertex
+// types — users, projects, and organizations — and query for typed
+// patterns such as "two users of the same organization working on the
+// same project" (a labeled square).
+//
+// Run with:
+//
+//	go run ./examples/labeled
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"light"
+)
+
+const (
+	user light.Label = iota
+	project
+	org
+)
+
+var labelName = map[light.Label]string{user: "user", project: "project", org: "org"}
+
+func main() {
+	g, labels := buildPlatform(3000, 400, 40, 7)
+	lg, err := light.WithLabels(g, labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := map[light.Label]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	fmt.Printf("platform graph: %v (%d users, %d projects, %d orgs)\n\n",
+		g, counts[user], counts[project], counts[org])
+
+	// Query 1: collaboration square — user-project-user-org cycle: two
+	// users in the same org contributing to the same project.
+	square, _ := light.PatternByName("square")
+	collab, err := light.WithPatternLabels(square, []light.Label{user, project, user, org})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := light.CountLabeled(lg, collab, light.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same-org co-contributors (labeled squares): %d (in %v)\n", res.Matches, res.Duration)
+
+	// Query 2: a user bridging two projects (labeled path).
+	path3, _ := light.PatternByName("path3")
+	bridge, err := light.WithPatternLabels(path3, []light.Label{project, user, project})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := light.CountLabeled(lg, bridge, light.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("users bridging two projects:               %d\n", res2.Matches)
+
+	// Show a few concrete collaboration squares.
+	fmt.Println("\nsample collaborations (u0=user, u1=project, u2=user, u3=org):")
+	shown := 0
+	_, err = light.EnumerateLabeled(lg, collab, light.Options{}, func(m []light.VertexID) bool {
+		fmt.Printf("  users %d & %d, project %d, org %d\n", m[0], m[2], m[1], m[3])
+		shown++
+		return shown < 5
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Contrast with the unlabeled count of the same shape: labels prune
+	// the space dramatically.
+	un, err := light.Count(g, square, light.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nunlabeled squares in the same graph: %d — labels cut the answer to %.2f%%\n",
+		un.Matches, 100*float64(res.Matches)/float64(un.Matches))
+}
+
+// buildPlatform wires users to orgs (membership), users to projects
+// (contribution), and projects to orgs (ownership), preferentially
+// attaching to popular projects.
+func buildPlatform(users, projects, orgs int, seed int64) (*light.Graph, []light.Label) {
+	rng := rand.New(rand.NewSource(seed))
+	n := users + projects + orgs
+	labels := make([]light.Label, n)
+	userID := func(i int) light.VertexID { return light.VertexID(i) }
+	projID := func(i int) light.VertexID { return light.VertexID(users + i) }
+	orgID := func(i int) light.VertexID { return light.VertexID(users + projects + i) }
+	for i := 0; i < projects; i++ {
+		labels[projID(i)] = project
+	}
+	for i := 0; i < orgs; i++ {
+		labels[orgID(i)] = org
+	}
+
+	var edges [][2]light.VertexID
+	popular := make([]int, 0, users*3)
+	for i := 0; i < projects; i++ {
+		popular = append(popular, i) // one base entry each
+	}
+	for u := 0; u < users; u++ {
+		// Each user: one org, 1–4 projects.
+		edges = append(edges, [2]light.VertexID{userID(u), orgID(rng.Intn(orgs))})
+		k := 1 + rng.Intn(4)
+		for j := 0; j < k; j++ {
+			p := popular[rng.Intn(len(popular))]
+			edges = append(edges, [2]light.VertexID{userID(u), projID(p)})
+			popular = append(popular, p)
+		}
+	}
+	for p := 0; p < projects; p++ {
+		edges = append(edges, [2]light.VertexID{projID(p), orgID(rng.Intn(orgs))})
+	}
+
+	// NewGraph relabels vertices into degree order; MapVertex translates
+	// our original ids, so labels follow the vertices.
+	g := light.NewGraph(n, edges)
+	ordered := make([]light.Label, n)
+	for orig, l := range labels {
+		ordered[g.MapVertex(light.VertexID(orig))] = l
+	}
+	return g, ordered
+}

@@ -1,0 +1,68 @@
+// Network motif discovery (the paper's first motivating application,
+// [26] in its references): count each catalog pattern in a real-looking
+// network and in degree-matched random baselines, then report which
+// patterns are over-represented — the classic motif z-score analysis.
+//
+// Run with:
+//
+//	go run ./examples/motifs
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"light"
+)
+
+const baselines = 5
+
+func main() {
+	// The "observed" network: preferential attachment produces many more
+	// closed structures than uniform randomness.
+	observed := light.GenerateBarabasiAlbert(1200, 4, 7)
+	n := observed.NumVertices()
+	m := int(observed.NumEdges())
+	fmt.Printf("observed network: %v\n\n", observed)
+
+	fmt.Printf("%-22s %10s %12s %10s %8s\n", "pattern", "observed", "random-mean", "random-sd", "z")
+	for _, name := range []string{"triangle", "P1", "P2", "P3", "P4"} {
+		p, err := light.PatternByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obs := count(observed, p)
+
+		// Baselines: random graphs with the same vertex and edge count.
+		// (A full motif pipeline rewires edges preserving degrees; the
+		// G(n,m) baseline keeps this example brief.)
+		var sum, sumSq float64
+		for i := 0; i < baselines; i++ {
+			g := light.GenerateErdosRenyi(n, m, int64(1000+i))
+			c := float64(count(g, p))
+			sum += c
+			sumSq += c * c
+		}
+		mean := sum / baselines
+		sd := math.Sqrt(sumSq/baselines - mean*mean)
+		z := 0.0
+		if sd > 0 {
+			z = (float64(obs) - mean) / sd
+		}
+		marker := ""
+		if z > 2 {
+			marker = "  ← motif"
+		}
+		fmt.Printf("%-22s %10d %12.1f %10.1f %8.1f%s\n", p, obs, mean, sd, z, marker)
+	}
+	fmt.Println("\nz > 2: the pattern appears far more often than chance — a network motif.")
+}
+
+func count(g *light.Graph, p *light.Pattern) uint64 {
+	res, err := light.Count(g, p, light.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Matches
+}

@@ -1,0 +1,3 @@
+module light
+
+go 1.22

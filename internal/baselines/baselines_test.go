@@ -1,0 +1,157 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"light/internal/engine"
+	"light/internal/gen"
+	"light/internal/graph"
+	"light/internal/pattern"
+	"light/internal/plan"
+)
+
+func lightCount(t *testing.T, g *graph.Graph, p *pattern.Pattern) uint64 {
+	t.Helper()
+	po := pattern.SymmetryBreaking(p)
+	pl, err := plan.Compile(p, po, plan.ConnectedOrders(p, po)[0], plan.ModeLIGHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.New(g, pl, engine.Options{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Matches
+}
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"ba": gen.BarabasiAlbert(90, 4, 1),
+		"er": gen.ErdosRenyi(70, 200, 2),
+		"k8": gen.Complete(8),
+	}
+}
+
+func TestEHMatchesLIGHT(t *testing.T) {
+	for gname, g := range testGraphs() {
+		for _, p := range pattern.Catalog() {
+			want := lightCount(t, g, p)
+			res, err := EH(g, p, Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, p.Name(), err)
+			}
+			if res.Matches != want {
+				t.Fatalf("%s/%s: EH = %d, want %d (order %s)", gname, p.Name(), res.Matches, want, res.Order)
+			}
+		}
+	}
+}
+
+func TestCFLMatchesLIGHT(t *testing.T) {
+	for gname, g := range testGraphs() {
+		for _, p := range pattern.Catalog() {
+			want := lightCount(t, g, p)
+			res, err := CFL(g, p, Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, p.Name(), err)
+			}
+			if res.Matches != want {
+				t.Fatalf("%s/%s: CFL = %d, want %d (order %s)", gname, p.Name(), res.Matches, want, res.Order)
+			}
+		}
+	}
+}
+
+func TestEHOrderIsAscendingDegree(t *testing.T) {
+	// The paper: π³(P2) = (u1, u3, u0, u2) — EH picks a non-connected
+	// ascending-degree order.
+	p := pattern.P2()
+	order := ehOrder(p, allMask(p))
+	want := []pattern.Vertex{1, 3, 0, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ehOrder(P2) = %v, want %v", order, want)
+		}
+	}
+	// And it is indeed non-connected (u1, u3 are not adjacent).
+	if plan.IsConnectedOrder(p, order) {
+		t.Fatal("expected a non-connected order for P2")
+	}
+}
+
+func TestEHDoesMoreIntersectionsThanSE(t *testing.T) {
+	// Fig 5a: EH's intersection count dwarfs SE's on the chordal square.
+	g := gen.BarabasiAlbert(200, 4, 9)
+	p := pattern.P2()
+	po := pattern.SymmetryBreaking(p)
+	pl, _ := plan.Compile(p, po, []pattern.Vertex{0, 2, 1, 3}, plan.ModeSE)
+	seRes, err := engine.New(g, pl, engine.Options{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ehRes, err := EH(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ehRes.Intersections <= seRes.Stats.Intersections {
+		t.Fatalf("EH intersections %d !> SE %d", ehRes.Intersections, seRes.Stats.Intersections)
+	}
+}
+
+func TestEHSplitsLargePatterns(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 4, 3)
+	res, err := EH(g, pattern.P4(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Order != "split on u2" && res.Order[:5] != "split" {
+		t.Fatalf("P4 should split, got order %q", res.Order)
+	}
+	if res.PeakBytes == 0 {
+		t.Fatal("split run should account component memory")
+	}
+}
+
+func TestEHOutOfSpace(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 6, 5)
+	_, err := EH(g, pattern.P4(), Options{MaxBytes: 256})
+	if err != ErrOutOfSpace {
+		t.Fatalf("err = %v, want ErrOutOfSpace", err)
+	}
+}
+
+func TestEHTimeLimit(t *testing.T) {
+	g := gen.Complete(200)
+	_, err := EH(g, pattern.P2(), Options{TimeLimit: time.Millisecond})
+	if err != ErrTimeLimit {
+		t.Fatalf("err = %v, want ErrTimeLimit", err)
+	}
+}
+
+func TestCFLTimeLimit(t *testing.T) {
+	g := gen.Complete(200)
+	_, err := CFL(g, pattern.P7(), Options{TimeLimit: time.Millisecond})
+	if err != ErrTimeLimit {
+		t.Fatalf("err = %v, want ErrTimeLimit", err)
+	}
+}
+
+func TestCFLOrderConnectedAndAdmissible(t *testing.T) {
+	for _, p := range pattern.Catalog() {
+		po := pattern.SymmetryBreaking(p)
+		pi := cflOrder(p, po)
+		if !plan.IsConnectedOrder(p, pi) {
+			t.Fatalf("%s: CFL order %v not connected", p.Name(), pi)
+		}
+		pos := make([]int, p.NumVertices())
+		for i, u := range pi {
+			pos[u] = i
+		}
+		for _, pr := range po.Pairs() {
+			if pos[pr[0]] > pos[pr[1]] {
+				t.Fatalf("%s: CFL order %v violates u%d<u%d", p.Name(), pi, pr[0], pr[1])
+			}
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package bfsjoin
+
+import (
+	"testing"
+	"time"
+
+	"light/internal/engine"
+	"light/internal/gen"
+	"light/internal/graph"
+	"light/internal/pattern"
+	"light/internal/plan"
+)
+
+// lightCount is the trusted reference (itself validated against brute
+// force in the engine tests).
+func lightCount(t *testing.T, g *graph.Graph, p *pattern.Pattern) uint64 {
+	t.Helper()
+	po := pattern.SymmetryBreaking(p)
+	pl, err := plan.Compile(p, po, plan.ConnectedOrders(p, po)[0], plan.ModeLIGHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.New(g, pl, engine.Options{}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Matches
+}
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"ba": gen.BarabasiAlbert(120, 4, 1),
+		"er": gen.ErdosRenyi(80, 240, 2),
+		"k9": gen.Complete(9),
+	}
+}
+
+func TestDecomposeCliqueStarCoversAllEdges(t *testing.T) {
+	for _, p := range pattern.Catalog() {
+		units := decomposeCliqueStar(p)
+		covered := map[[2]pattern.Vertex]bool{}
+		for _, u := range units {
+			for _, e := range u.edges {
+				covered[orderedEdge(e[0], e[1])] = true
+			}
+			if len(u.vertices) < 2 {
+				t.Fatalf("%s: degenerate unit %v", p.Name(), u)
+			}
+		}
+		for _, e := range p.Edges() {
+			if !covered[e] {
+				t.Fatalf("%s: edge %v not covered by units %v", p.Name(), e, units)
+			}
+		}
+	}
+}
+
+func TestDecomposeCliques(t *testing.T) {
+	// A clique pattern must decompose into exactly one clique unit.
+	units := decomposeCliqueStar(pattern.P7())
+	if len(units) != 1 || units[0].kind != "clique" || len(units[0].vertices) != 5 {
+		t.Fatalf("P7 units = %v", units)
+	}
+	// The square has no triangle: stars only.
+	units = decomposeCliqueStar(pattern.P1())
+	for _, u := range units {
+		if u.kind != "star" {
+			t.Fatalf("P1 unit %v should be a star", u)
+		}
+	}
+}
+
+func TestMinConnectedVertexCover(t *testing.T) {
+	cases := []struct {
+		p    *pattern.Pattern
+		size int
+	}{
+		{pattern.Triangle(), 2},
+		{pattern.P1(), 3}, // plain VC is 2 ({0,2}) but it's disconnected
+		{pattern.P2(), 2}, // {0,2} is connected via the chord
+		{pattern.P7(), 4},
+		{pattern.StarPattern(4), 1},
+	}
+	for _, c := range cases {
+		cover := minConnectedVertexCover(c.p)
+		if len(cover) != c.size {
+			t.Errorf("%s: cover %v, want size %d", c.p.Name(), cover, c.size)
+		}
+		// It must cover every edge.
+		in := map[pattern.Vertex]bool{}
+		for _, v := range cover {
+			in[v] = true
+		}
+		for _, e := range c.p.Edges() {
+			if !in[e[0]] && !in[e[1]] {
+				t.Errorf("%s: edge %v uncovered by %v", c.p.Name(), e, cover)
+			}
+		}
+	}
+}
+
+func TestSEEDMatchesLIGHT(t *testing.T) {
+	for gname, g := range testGraphs() {
+		for _, p := range pattern.Catalog() {
+			want := lightCount(t, g, p)
+			res, err := SEED(g, p, Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, p.Name(), err)
+			}
+			if res.Matches != want {
+				t.Fatalf("%s/%s: SEED = %d, want %d (units %v)", gname, p.Name(), res.Matches, want, res.Units)
+			}
+		}
+	}
+}
+
+func TestCrystalMatchesLIGHT(t *testing.T) {
+	for gname, g := range testGraphs() {
+		for _, p := range pattern.Catalog() {
+			want := lightCount(t, g, p)
+			res, err := Crystal(g, p, Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, p.Name(), err)
+			}
+			if res.Matches != want {
+				t.Fatalf("%s/%s: Crystal = %d, want %d (units %v)", gname, p.Name(), res.Matches, want, res.Units)
+			}
+		}
+	}
+}
+
+func TestSEEDOutOfSpace(t *testing.T) {
+	// A tiny budget must trip ErrOutOfSpace on a multi-unit pattern.
+	g := gen.BarabasiAlbert(400, 6, 3)
+	_, err := SEED(g, pattern.P1(), Options{MaxBytes: 1024})
+	if err != ErrOutOfSpace {
+		t.Fatalf("err = %v, want ErrOutOfSpace", err)
+	}
+}
+
+func TestCrystalOutOfSpace(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 6, 3)
+	_, err := Crystal(g, pattern.P5(), Options{MaxBytes: 512})
+	if err != ErrOutOfSpace {
+		t.Fatalf("err = %v, want ErrOutOfSpace", err)
+	}
+}
+
+func TestSEEDTimeLimit(t *testing.T) {
+	g := gen.Complete(130)
+	_, err := SEED(g, pattern.P4(), Options{TimeLimit: time.Millisecond})
+	if err != ErrTimeLimit {
+		t.Fatalf("err = %v, want ErrTimeLimit", err)
+	}
+}
+
+func TestCrystalCompressesVsSEED(t *testing.T) {
+	// CRYSTAL's factorized representation must beat SEED's materialized
+	// intermediates on a pattern with buds (the square).
+	g := gen.BarabasiAlbert(800, 5, 7)
+	seedRes, err := SEED(g, pattern.P1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cryRes, err := Crystal(g, pattern.P1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cryRes.Matches != seedRes.Matches {
+		t.Fatalf("counts diverge: %d vs %d", cryRes.Matches, seedRes.Matches)
+	}
+	if cryRes.PeakBytes >= seedRes.PeakBytes {
+		t.Fatalf("CRYSTAL peak %d !< SEED peak %d", cryRes.PeakBytes, seedRes.PeakBytes)
+	}
+}
+
+func TestShuffleAccounting(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 4, 5)
+	res, err := SEED(g, pattern.P1(), Options{ShufflePerTuple: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShuffledTuples == 0 {
+		t.Fatal("no shuffle accounting")
+	}
+	if res.ShuffleTime != time.Duration(res.ShuffledTuples)*time.Microsecond {
+		t.Fatalf("ShuffleTime = %v for %d tuples", res.ShuffleTime, res.ShuffledTuples)
+	}
+	// With Sleep, wall time must include the simulated cost.
+	start := time.Now()
+	res2, err := SEED(g, pattern.P1(), Options{ShufflePerTuple: 200 * time.Nanosecond, Sleep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < res2.ShuffleTime {
+		t.Fatalf("sleep shorter than simulated shuffle: %v < %v", time.Since(start), res2.ShuffleTime)
+	}
+}
+
+func TestRelationBytes(t *testing.T) {
+	r := &Relation{Vertices: []pattern.Vertex{0, 1, 2}}
+	r.Tuples = append(r.Tuples, []graph.VertexID{1, 2, 3}, []graph.VertexID{4, 5, 6})
+	if r.Bytes() != 24 {
+		t.Fatalf("Bytes = %d, want 24", r.Bytes())
+	}
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestTwinTwigMatchesLIGHT(t *testing.T) {
+	for gname, g := range testGraphs() {
+		for _, p := range pattern.Catalog() {
+			want := lightCount(t, g, p)
+			res, err := TwinTwig(g, p, Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, p.Name(), err)
+			}
+			if res.Matches != want {
+				t.Fatalf("%s/%s: TwinTwig = %d, want %d (units %v)", gname, p.Name(), res.Matches, want, res.Units)
+			}
+		}
+	}
+}
+
+func TestTwinTwigDecomposition(t *testing.T) {
+	for _, p := range pattern.Catalog() {
+		units := decomposeTwinTwig(p)
+		covered := map[[2]pattern.Vertex]bool{}
+		for _, u := range units {
+			if len(u.edges) < 1 || len(u.edges) > 2 {
+				t.Fatalf("%s: twig with %d edges", p.Name(), len(u.edges))
+			}
+			for _, e := range u.edges {
+				covered[orderedEdge(e[0], e[1])] = true
+			}
+		}
+		for _, e := range p.Edges() {
+			if !covered[e] {
+				t.Fatalf("%s: edge %v uncovered", p.Name(), e)
+			}
+		}
+	}
+}
+
+func TestTwinTwigWorseThanSEED(t *testing.T) {
+	// The historical ordering the paper relies on: TwinTwig's tiny join
+	// units shuffle more intermediate tuples than SEED's clique-star
+	// units on triangle-rich patterns.
+	g := gen.BarabasiAlbert(400, 5, 13)
+	for _, p := range []*pattern.Pattern{pattern.P3(), pattern.P7()} {
+		tt, err := TwinTwig(g, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed, err := SEED(g, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tt.Matches != seed.Matches {
+			t.Fatalf("%s: counts diverge", p.Name())
+		}
+		if tt.ShuffledTuples <= seed.ShuffledTuples {
+			t.Fatalf("%s: TwinTwig shuffled %d !> SEED %d", p.Name(), tt.ShuffledTuples, seed.ShuffledTuples)
+		}
+	}
+}
+
+func TestTwinTwigOutOfSpace(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 6, 3)
+	if _, err := TwinTwig(g, pattern.P4(), Options{MaxBytes: 1024}); err != ErrOutOfSpace {
+		t.Fatalf("err = %v, want ErrOutOfSpace", err)
+	}
+}

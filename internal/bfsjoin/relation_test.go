@@ -1,0 +1,136 @@
+package bfsjoin
+
+import (
+	"testing"
+
+	"light/internal/graph"
+	"light/internal/pattern"
+)
+
+func rel(verts []pattern.Vertex, tuples ...[]graph.VertexID) *Relation {
+	return &Relation{Vertices: verts, Tuples: tuples}
+}
+
+func TestHashJoinSharedVertex(t *testing.T) {
+	a := rel([]pattern.Vertex{0, 1},
+		[]graph.VertexID{10, 20},
+		[]graph.VertexID{11, 21},
+	)
+	b := rel([]pattern.Vertex{1, 2},
+		[]graph.VertexID{20, 30},
+		[]graph.VertexID{20, 31},
+		[]graph.VertexID{21, 30},
+		[]graph.VertexID{99, 30},
+	)
+	out, err := HashJoin(a, b, NewTracker(Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Vertices) != 3 {
+		t.Fatalf("vertices = %v", out.Vertices)
+	}
+	// (10,20)⋈(20,30), (10,20)⋈(20,31), (11,21)⋈(21,30).
+	if len(out.Tuples) != 3 {
+		t.Fatalf("tuples = %v", out.Tuples)
+	}
+}
+
+func TestHashJoinEnforcesInjectivity(t *testing.T) {
+	a := rel([]pattern.Vertex{0, 1}, []graph.VertexID{10, 20})
+	b := rel([]pattern.Vertex{1, 2},
+		[]graph.VertexID{20, 10}, // would map u2 to 10 = φ(u0): rejected
+		[]graph.VertexID{20, 30},
+	)
+	out, err := HashJoin(a, b, NewTracker(Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tuples) != 1 || out.Tuples[0][2] != 30 {
+		t.Fatalf("tuples = %v", out.Tuples)
+	}
+}
+
+func TestHashJoinCartesianWhenDisjoint(t *testing.T) {
+	a := rel([]pattern.Vertex{0}, []graph.VertexID{1}, []graph.VertexID{2})
+	b := rel([]pattern.Vertex{1}, []graph.VertexID{3}, []graph.VertexID{4})
+	out, err := HashJoin(a, b, NewTracker(Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tuples) != 4 {
+		t.Fatalf("Cartesian product size = %d, want 4", len(out.Tuples))
+	}
+}
+
+func TestCountJoinEqualsHashJoin(t *testing.T) {
+	a := rel([]pattern.Vertex{0, 1},
+		[]graph.VertexID{1, 2}, []graph.VertexID{1, 3}, []graph.VertexID{2, 3},
+	)
+	b := rel([]pattern.Vertex{1, 2},
+		[]graph.VertexID{2, 3}, []graph.VertexID{2, 4}, []graph.VertexID{3, 1}, []graph.VertexID{3, 4},
+	)
+	tr := NewTracker(Options{})
+	out, err := HashJoin(a, b, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountJoin(a, b, NewTracker(Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(out.Tuples)) {
+		t.Fatalf("CountJoin %d != HashJoin %d", n, len(out.Tuples))
+	}
+}
+
+func TestHashJoinBudgetMidway(t *testing.T) {
+	// The incremental check must fire during the join, not after.
+	a := rel([]pattern.Vertex{0}, []graph.VertexID{1}, []graph.VertexID{2}, []graph.VertexID{3})
+	b := rel([]pattern.Vertex{1}, []graph.VertexID{4}, []graph.VertexID{5}, []graph.VertexID{6})
+	tr := NewTracker(Options{MaxBytes: 16})
+	if _, err := HashJoin(a, b, tr); err != ErrOutOfSpace {
+		t.Fatalf("err = %v, want ErrOutOfSpace", err)
+	}
+}
+
+func TestTrackerAccounting(t *testing.T) {
+	tr := NewTracker(Options{MaxBytes: 100, ShufflePerTuple: 10})
+	r := rel([]pattern.Vertex{0, 1}, []graph.VertexID{1, 2}, []graph.VertexID{3, 4})
+	if err := tr.Charge(r); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Peak() != 16 || tr.Shuffled() != 2 {
+		t.Fatalf("peak=%d shuffled=%d", tr.Peak(), tr.Shuffled())
+	}
+	if tr.ShuffleTime() != 20 {
+		t.Fatalf("ShuffleTime = %v", tr.ShuffleTime())
+	}
+	tr.Release(r)
+	if tr.OverBudget(85) {
+		t.Fatal("released bytes still counted")
+	}
+	if !tr.OverBudget(101) {
+		t.Fatal("budget not enforced")
+	}
+	// Peak is a high-water mark: release must not lower it.
+	if tr.Peak() != 16 {
+		t.Fatal("peak lowered by release")
+	}
+}
+
+func TestUnitPatternRelabels(t *testing.T) {
+	u := unit{kind: "star", vertices: []pattern.Vertex{3, 1, 4}, edges: [][2]pattern.Vertex{{3, 1}, {3, 4}}}
+	sub, pi, err := unitPattern(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("sub = %v", sub)
+	}
+	if len(pi) != 3 {
+		t.Fatalf("pi = %v", pi)
+	}
+	if u.String() == "" {
+		t.Fatal("unit String empty")
+	}
+}

@@ -1,0 +1,135 @@
+package bfsjoin
+
+import (
+	"sort"
+	"time"
+
+	"light/internal/graph"
+	"light/internal/pattern"
+)
+
+// TwinTwig simulates the TwinTwig distributed algorithm (Lai et al.,
+// PVLDB 2015 — the paper's reference [12] and SEED's predecessor):
+// decompose P into "twin twigs" — stars with one or two edges — and
+// join them round by round. Because the units are so small, TwinTwig
+// materializes more and larger intermediates than SEED's clique-star
+// units, which is exactly why SEED superseded it; the simulation
+// reproduces that ordering.
+func TwinTwig(g *graph.Graph, p *pattern.Pattern, opts Options) (Result, error) {
+	t := NewTracker(opts)
+	units := decomposeTwinTwig(p)
+	res := Result{}
+	for _, u := range units {
+		res.Units = append(res.Units, u.String())
+	}
+	aut := uint64(len(p.Automorphisms()))
+
+	if len(units) == 1 {
+		count, err := countUnit(g, units[0], t)
+		if err != nil {
+			return finishResult(res, t), err
+		}
+		res.Matches = count / aut
+		return finishResult(res, t), nil
+	}
+
+	rels := make([]*Relation, 0, len(units))
+	for _, u := range units {
+		r, err := materialize(g, u, t)
+		if err != nil {
+			return finishResult(res, t), err
+		}
+		rels = append(rels, r)
+	}
+	sort.SliceStable(rels, func(i, j int) bool { return len(rels[i].Tuples) < len(rels[j].Tuples) })
+	acc := rels[0]
+	remaining := rels[1:]
+	for len(remaining) > 0 {
+		pick := -1
+		for i, r := range remaining {
+			if shared, _, _ := sharedVertices(acc, r); len(shared) > 0 {
+				pick = i
+				break
+			}
+		}
+		if pick == -1 {
+			pick = 0
+		}
+		next := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		if len(remaining) == 0 {
+			count, err := CountJoin(acc, next, t)
+			if err != nil {
+				return finishResult(res, t), err
+			}
+			res.Matches = count / aut
+			break
+		}
+		joined, err := HashJoin(acc, next, t)
+		if err != nil {
+			return finishResult(res, t), err
+		}
+		t.Release(acc)
+		t.Release(next)
+		acc = joined
+		if err := t.CheckTime(); err != nil {
+			return finishResult(res, t), err
+		}
+	}
+	out := finishResult(res, t)
+	if opts.Sleep && out.ShuffleTime > 0 {
+		time.Sleep(out.ShuffleTime)
+	}
+	return out, nil
+}
+
+// decomposeTwinTwig greedily peels stars of at most two edges: pick the
+// vertex with the most uncovered incident edges, take up to two of them
+// as one twig, repeat.
+func decomposeTwinTwig(p *pattern.Pattern) []unit {
+	uncovered := map[[2]pattern.Vertex]bool{}
+	for _, e := range p.Edges() {
+		uncovered[e] = true
+	}
+	var units []unit
+	for len(uncovered) > 0 {
+		counts := make([]int, p.NumVertices())
+		for e := range uncovered {
+			counts[e[0]]++
+			counts[e[1]]++
+		}
+		center, best := 0, 0
+		for v, c := range counts {
+			if c > best {
+				center, best = v, c
+			}
+		}
+		var edges [][2]pattern.Vertex
+		for e := range uncovered {
+			if e[0] == center || e[1] == center {
+				edges = append(edges, e)
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i][0] != edges[j][0] {
+				return edges[i][0] < edges[j][0]
+			}
+			return edges[i][1] < edges[j][1]
+		})
+		if len(edges) > 2 {
+			edges = edges[:2] // a twig has at most two edges
+		}
+		u := unit{kind: "twig", vertices: []pattern.Vertex{center}}
+		for _, e := range edges {
+			other := e[0]
+			if other == center {
+				other = e[1]
+			}
+			u.vertices = append(u.vertices, other)
+			u.edges = append(u.edges, e)
+			delete(uncovered, e)
+		}
+		units = append(units, u)
+	}
+	return units
+}

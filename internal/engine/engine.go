@@ -1,0 +1,478 @@
+// Package engine executes compiled enumeration plans against a data
+// graph. One Enumerator interprets the plan's execution order σ
+// recursively (the paper's Algorithms 1 and 2 unified): COMP operations
+// compute candidate sets with the plan's K1/K2 operands (Equation 6) and
+// MAT operations extend the partial result, enforcing injectivity and the
+// symmetry-breaking partial order.
+//
+// An Enumerator is single-threaded and reusable; the parallel package
+// runs one per worker and splits work between them.
+package engine
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"light/internal/graph"
+	"light/internal/intersect"
+	"light/internal/plan"
+)
+
+// ErrTimeLimit is returned when Options.TimeLimit elapses mid-run (the
+// paper's OOT outcome).
+var ErrTimeLimit = errors.New("engine: time limit exceeded")
+
+// VisitFunc receives each match: mapping[u] is the data vertex assigned
+// to pattern vertex u. The slice is reused between calls; copy it to
+// retain. Return false to stop the enumeration early.
+type VisitFunc func(mapping []graph.VertexID) bool
+
+// Options configure an Enumerator.
+type Options struct {
+	// Kernel selects the set intersection implementation (default
+	// KindMerge, the paper's serial baseline configuration).
+	Kernel intersect.Kind
+	// Delta is the Hybrid threshold δ (default intersect.DefaultDelta).
+	Delta int
+	// TimeLimit aborts the run with ErrTimeLimit when positive. The
+	// clock starts at each Run/RunRoots/Resume call.
+	TimeLimit time.Duration
+	// Deadline, when set, is an absolute cutoff shared across calls; it
+	// takes precedence over TimeLimit. The parallel scheduler pins one
+	// deadline for all workers and chunks.
+	Deadline time.Time
+	// TailCount enables the leaf-MAT counting shortcut in count-only
+	// runs: when the final σ operation is a MAT, add the number of valid
+	// candidates instead of looping. Keep false for the paper-faithful
+	// engine; benchmarks measure the difference.
+	TailCount bool
+	// DegreeFilter skips candidates whose data degree is below the
+	// pattern vertex's degree — the only filter unlabeled graphs admit
+	// from the labeled-matching toolbox (used by the CFL baseline).
+	DegreeFilter bool
+	// Filter, when non-nil, must approve every (pattern vertex, data
+	// vertex) assignment; assignments it rejects are skipped. It must be
+	// sound (never reject a vertex that completes to a valid match the
+	// caller wants) and fast — it runs in the innermost loop. The
+	// labeled-matching layer uses it for label and neighborhood-label-
+	// frequency filtering. Filter disables the TailCount shortcut.
+	Filter func(u int, v graph.VertexID) bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Delta == 0 {
+		o.Delta = intersect.DefaultDelta
+	}
+	return o
+}
+
+// Result summarizes a run.
+type Result struct {
+	Matches uint64          // matches found (respecting the partial order)
+	Stats   intersect.Stats // set intersection counters
+	Nodes   uint64          // search-tree nodes expanded (MAT extensions)
+	Stopped bool            // true when the visitor stopped the run early
+}
+
+// Add accumulates other into r (for combining per-worker results).
+func (r *Result) Add(other Result) {
+	r.Matches += other.Matches
+	r.Stats.Add(other.Stats)
+	r.Nodes += other.Nodes
+	r.Stopped = r.Stopped || other.Stopped
+}
+
+// MatHook, when non-nil, is invoked at the start of every non-root MAT
+// loop with the σ index and the full candidate slice about to be
+// iterated; it returns how many of those candidates the enumerator should
+// process locally (the rest having been donated elsewhere). Used by the
+// work-stealing scheduler; see the parallel package.
+type MatHook func(e *Enumerator, sigmaIdx int, candidates []graph.VertexID) int
+
+// Enumerator executes one plan on one graph.
+type Enumerator struct {
+	g    *graph.Graph
+	pl   *plan.Plan
+	opts Options
+
+	// Hook for work donation (nil in sequential runs).
+	Hook MatHook
+
+	// Stop, when non-nil, is polled at the deadline cadence; setting it
+	// aborts the run with Stopped=true and no error. The parallel
+	// scheduler uses it to propagate early termination across workers.
+	Stop *atomic.Bool
+
+	assigned []graph.VertexID // per pattern vertex, valid when materialized
+	matMask  uint32           // bitmask of materialized pattern vertices
+	allRoots []graph.VertexID // lazily built full root list for Run
+
+	cand    [][]graph.VertexID
+	bufs    [][]graph.VertexID
+	scratch []graph.VertexID
+	setsTmp [][]graph.VertexID
+
+	visit    VisitFunc
+	result   Result
+	deadline time.Time
+	err      error
+}
+
+// New prepares an Enumerator for repeated runs of pl over g.
+func New(g *graph.Graph, pl *plan.Plan, opts Options) *Enumerator {
+	opts = opts.withDefaults()
+	n := pl.Pattern.NumVertices()
+	dmax := g.MaxDegree()
+	e := &Enumerator{
+		g:        g,
+		pl:       pl,
+		opts:     opts,
+		assigned: make([]graph.VertexID, n),
+		cand:     make([][]graph.VertexID, n),
+		bufs:     make([][]graph.VertexID, n),
+		scratch:  make([]graph.VertexID, dmax),
+		setsTmp:  make([][]graph.VertexID, 0, n),
+	}
+	for u := 0; u < n; u++ {
+		e.bufs[u] = make([]graph.VertexID, dmax)
+	}
+	return e
+}
+
+// Plan returns the plan the enumerator executes.
+func (e *Enumerator) Plan() *plan.Plan { return e.pl }
+
+// Graph returns the data graph.
+func (e *Enumerator) Graph() *graph.Graph { return e.g }
+
+// CandidateMemoryBytes reports the memory held by candidate-set buffers
+// (the paper's Table V metric): n buffers of d_max 32-bit ids plus the
+// scratch buffer.
+func (e *Enumerator) CandidateMemoryBytes() int64 {
+	total := int64(len(e.scratch)) * 4
+	for _, b := range e.bufs {
+		total += int64(cap(b)) * 4
+	}
+	return total
+}
+
+// Run enumerates over every root candidate (C(π[1]) = V(G)) and returns
+// the combined result. visit may be nil for count-only runs.
+func (e *Enumerator) Run(visit VisitFunc) (Result, error) {
+	if e.allRoots == nil {
+		n := e.g.NumVertices()
+		e.allRoots = make([]graph.VertexID, n)
+		for i := range e.allRoots {
+			e.allRoots[i] = graph.VertexID(i)
+		}
+	}
+	return e.RunRoots(e.allRoots, visit)
+}
+
+// RunRoots enumerates only the given root candidates (used by the
+// parallel schedulers to partition C(π[1])). roots must be ascending.
+func (e *Enumerator) RunRoots(roots []graph.VertexID, visit VisitFunc) (Result, error) {
+	e.begin(visit)
+	rootVertex := e.pl.Pi[0]
+	for _, v := range roots {
+		if e.opts.Filter != nil && !e.opts.Filter(rootVertex, v) {
+			continue
+		}
+		e.assigned[rootVertex] = v
+		e.matMask = 1 << uint(rootVertex)
+		e.result.Nodes++
+		if !e.step(1) {
+			break
+		}
+	}
+	return e.finish()
+}
+
+// Frame is a resumable suspension of the search: the state needed to
+// continue a MAT loop at σ[SigmaIdx] over Remaining. Frames own their
+// slices (deep copies), so they can cross goroutines.
+type Frame struct {
+	SigmaIdx  int
+	Assigned  []graph.VertexID
+	MatMask   uint32
+	Cands     [][]graph.VertexID // per pattern vertex; nil when not live
+	Remaining []graph.VertexID
+}
+
+// Snapshot captures the current search state as a Frame that resumes the
+// MAT at sigmaIdx over the given candidates. Called by MatHook
+// implementations.
+func (e *Enumerator) Snapshot(sigmaIdx int, candidates []graph.VertexID) *Frame {
+	n := e.pl.Pattern.NumVertices()
+	f := &Frame{
+		SigmaIdx:  sigmaIdx,
+		Assigned:  append([]graph.VertexID(nil), e.assigned...),
+		MatMask:   e.matMask,
+		Cands:     make([][]graph.VertexID, n),
+		Remaining: append([]graph.VertexID(nil), candidates...),
+	}
+	for u := 0; u < n; u++ {
+		if e.candLiveAt(u, sigmaIdx) {
+			f.Cands[u] = append([]graph.VertexID(nil), e.cand[u]...)
+		}
+	}
+	return f
+}
+
+// candLiveAt reports whether C(u) computed before σ[sigmaIdx] is still
+// referenced at or after it (by u's own MAT or by a later COMP using u as
+// a K2 operand).
+func (e *Enumerator) candLiveAt(u int, sigmaIdx int) bool {
+	if u == e.pl.Pi[0] {
+		return false
+	}
+	computed := false
+	for i := 0; i < sigmaIdx; i++ {
+		op := e.pl.Sigma[i]
+		if op.Mode == plan.Comp && op.Vertex == u {
+			computed = true
+			break
+		}
+	}
+	if !computed {
+		return false
+	}
+	for i := sigmaIdx; i < len(e.pl.Sigma); i++ {
+		op := e.pl.Sigma[i]
+		if op.Mode == plan.Mat && op.Vertex == u {
+			return true
+		}
+		if op.Mode == plan.Comp {
+			for _, w := range e.pl.Ops[op.Vertex].K2 {
+				if w == u {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Resume continues the search captured in f. The frame's candidate sets
+// are copied into the enumerator's own buffers.
+func (e *Enumerator) Resume(f *Frame, visit VisitFunc) (Result, error) {
+	e.begin(visit)
+	copy(e.assigned, f.Assigned)
+	e.matMask = f.MatMask
+	for u := range f.Cands {
+		if f.Cands[u] == nil {
+			e.cand[u] = nil
+			continue
+		}
+		m := copy(e.bufs[u][:cap(e.bufs[u])], f.Cands[u])
+		e.cand[u] = e.bufs[u][:m]
+	}
+	e.matLoop(f.SigmaIdx, f.Remaining, false)
+	return e.finish()
+}
+
+func (e *Enumerator) begin(visit VisitFunc) {
+	e.visit = visit
+	e.result = Result{}
+	e.err = nil
+	switch {
+	case !e.opts.Deadline.IsZero():
+		e.deadline = e.opts.Deadline
+	case e.opts.TimeLimit > 0:
+		e.deadline = time.Now().Add(e.opts.TimeLimit)
+	default:
+		e.deadline = time.Time{}
+	}
+}
+
+func (e *Enumerator) finish() (Result, error) {
+	if e.err != nil {
+		return e.result, e.err
+	}
+	return e.result, nil
+}
+
+// step executes σ[i] and everything after it. It returns false to unwind
+// the whole search (deadline hit or visitor stop).
+func (e *Enumerator) step(i int) bool {
+	if i == len(e.pl.Sigma) {
+		return e.emit()
+	}
+	op := e.pl.Sigma[i]
+	if op.Mode == plan.Comp {
+		if !e.compute(op.Vertex) {
+			return true // empty candidate set: prune this branch
+		}
+		return e.step(i + 1)
+	}
+	candidates := e.cand[op.Vertex]
+	return e.matLoop(i, candidates, true)
+}
+
+// compute runs the COMP of u (Equation 6) into e.cand[u], returning false
+// when the candidate set is empty.
+func (e *Enumerator) compute(u int) bool {
+	ops := &e.pl.Ops[u]
+	nOperands := len(ops.K1) + len(ops.K2)
+	if nOperands == 1 {
+		// Single operand: alias, zero intersections (the Fig 2b case).
+		if len(ops.K1) == 1 {
+			e.cand[u] = e.g.Neighbors(e.assigned[ops.K1[0]])
+		} else {
+			e.cand[u] = e.cand[ops.K2[0]]
+		}
+		return len(e.cand[u]) > 0
+	}
+	sets := e.setsTmp[:0]
+	for _, w := range ops.K1 {
+		sets = append(sets, e.g.Neighbors(e.assigned[w]))
+	}
+	for _, w := range ops.K2 {
+		sets = append(sets, e.cand[w])
+	}
+	n := intersect.MultiWay(e.bufs[u], e.scratch, sets, e.opts.Kernel, e.opts.Delta, &e.result.Stats)
+	e.cand[u] = e.bufs[u][:n]
+	return n > 0
+}
+
+// matLoop materializes σ[i]'s vertex over candidates. checkHook controls
+// whether the donation hook may split this loop (resumed frames already
+// passed through it).
+func (e *Enumerator) matLoop(i int, candidates []graph.VertexID, checkHook bool) bool {
+	u := e.pl.Sigma[i].Vertex
+	// Symmetry-breaking bounds: candidates are sorted, so constraints
+	// against already-materialized vertices become a sub-range.
+	lo, hi := e.bounds(i)
+	if lo >= hi {
+		return true
+	}
+	from := sort.Search(len(candidates), func(k int) bool { return int64(candidates[k]) >= lo })
+	to := sort.Search(len(candidates), func(k int) bool { return int64(candidates[k]) >= hi })
+	candidates = candidates[from:to]
+	if len(candidates) == 0 {
+		return true
+	}
+
+	// Counting shortcut: the last operation's loop body only counts.
+	if e.opts.TailCount && e.visit == nil && e.opts.Filter == nil && i == len(e.pl.Sigma)-1 {
+		return e.tailCount(u, candidates)
+	}
+
+	if checkHook && e.Hook != nil {
+		keep := e.Hook(e, i, candidates)
+		candidates = candidates[:keep]
+	}
+	bit := uint32(1) << uint(u)
+	minDeg := 0
+	if e.opts.DegreeFilter {
+		minDeg = e.pl.Pattern.Degree(u)
+	}
+	for _, v := range candidates {
+		if e.usedValue(v) {
+			continue
+		}
+		if minDeg > 0 && e.g.Degree(v) < minDeg {
+			continue
+		}
+		if e.opts.Filter != nil && !e.opts.Filter(u, v) {
+			continue
+		}
+		if !e.checkDeadline() {
+			return false
+		}
+		e.assigned[u] = v
+		e.matMask |= bit
+		e.result.Nodes++
+		if !e.step(i + 1) {
+			return false
+		}
+		e.matMask &^= bit
+	}
+	return true
+}
+
+// bounds returns the open-below, open-above data-vertex id window
+// [lo, hi) implied by σ[i]'s symmetry-breaking constraints.
+func (e *Enumerator) bounds(i int) (lo, hi int64) {
+	lo, hi = 0, int64(e.g.NumVertices())
+	for _, c := range e.pl.MatConstraints[i] {
+		ov := int64(e.assigned[c.Other])
+		if c.Lower {
+			if ov+1 > lo {
+				lo = ov + 1
+			}
+		} else {
+			if ov < hi {
+				hi = ov
+			}
+		}
+	}
+	return lo, hi
+}
+
+// usedValue reports whether data vertex v is already used by a
+// materialized pattern vertex (the injectivity check; |φ| is tiny).
+func (e *Enumerator) usedValue(v graph.VertexID) bool {
+	for m := e.matMask; m != 0; m &= m - 1 {
+		u := trailingZeros32(m)
+		if e.assigned[u] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// tailCount adds the number of valid assignments of the final MAT without
+// recursing: candidates within bounds minus those violating injectivity.
+func (e *Enumerator) tailCount(u int, candidates []graph.VertexID) bool {
+	if !e.checkDeadline() {
+		return false
+	}
+	n := uint64(len(candidates))
+	for m := e.matMask; m != 0; m &= m - 1 {
+		w := trailingZeros32(m)
+		if intersect.Contains(candidates, e.assigned[w]) {
+			n--
+		}
+	}
+	e.result.Matches += n
+	e.result.Nodes += n
+	return true
+}
+
+func (e *Enumerator) emit() bool {
+	e.result.Matches++
+	if e.visit != nil && !e.visit(e.assigned) {
+		e.result.Stopped = true
+		return false
+	}
+	return true
+}
+
+// checkDeadline polls the external stop flag and the clock every 8192
+// nodes; returns false when the run should unwind.
+func (e *Enumerator) checkDeadline() bool {
+	if e.result.Nodes&8191 != 0 {
+		return true
+	}
+	if e.Stop != nil && e.Stop.Load() {
+		e.result.Stopped = true
+		return false
+	}
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		e.err = ErrTimeLimit
+		return false
+	}
+	return true
+}
+
+func trailingZeros32(x uint32) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

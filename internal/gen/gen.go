@@ -1,0 +1,178 @@
+// Package gen produces deterministic synthetic data graphs.
+//
+// The paper evaluates on six real-world graphs (youtube, eu-2005,
+// live-journal, com-orkut, uk-2002, friendster) that are unavailable
+// offline and, at up to 1.8 billion edges, beyond a laptop reproduction.
+// This package substitutes seeded generators whose outputs preserve the
+// properties the evaluation depends on: heavy-tailed degree distributions
+// (power-law via preferential attachment and R-MAT) and a ladder of sizes
+// and densities (see Suite). All generators are deterministic for a given
+// seed.
+package gen
+
+import (
+	"math/rand"
+
+	"light/internal/graph"
+)
+
+// ErdosRenyi generates G(n, m): m distinct uniformly random edges on n
+// vertices. Degree distribution is binomial (no skew); used as the
+// low-skew contrast case in tests and benchmarks.
+func ErdosRenyi(n int, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	seen := make(map[[2]graph.VertexID]bool, m)
+	for len(seen) < m && len(seen) < n*(n-1)/2 {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]graph.VertexID{u, v}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+	}
+	return b.BuildOrdered()
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: vertices
+// arrive one at a time and attach k edges to existing vertices chosen
+// proportionally to their current degree. Produces a power-law degree
+// distribution similar to social networks (the yt/lj/ot analogs).
+func BarabasiAlbert(n, k int, seed int64) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// targets holds one entry per edge endpoint, so uniform sampling from
+	// it is degree-proportional sampling.
+	targets := make([]graph.VertexID, 0, 2*n*k)
+	// Seed clique on the first k+1 vertices.
+	seedSize := k + 1
+	if seedSize > n {
+		seedSize = n
+	}
+	for i := 0; i < seedSize; i++ {
+		for j := i + 1; j < seedSize; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+			targets = append(targets, graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	picked := make([]graph.VertexID, 0, k)
+	for v := seedSize; v < n; v++ {
+		picked = picked[:0]
+		for len(picked) < k {
+			t := targets[rng.Intn(len(targets))]
+			dup := false
+			for _, p := range picked {
+				if p == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				picked = append(picked, t)
+			}
+		}
+		for _, t := range picked {
+			b.AddEdge(graph.VertexID(v), t)
+			targets = append(targets, graph.VertexID(v), t)
+		}
+	}
+	return b.BuildOrdered()
+}
+
+// RMAT generates a recursive-matrix graph with 2^scale vertices and
+// roughly edgeFactor * 2^scale edges using the standard (a,b,c,d) =
+// (0.57, 0.19, 0.19, 0.05) parameters, which yield the skewed,
+// community-structured degree distribution of web graphs. Self-loops and
+// duplicates are dropped, so the final edge count is slightly below the
+// nominal one.
+func RMAT(scale, edgeFactor int, seed int64) *graph.Graph {
+	return rmat(scale, edgeFactor, seed, 0.57, 0.19, 0.19)
+}
+
+// RMATSoft is RMAT with milder corner weights (0.45, 0.22, 0.22, 0.11):
+// still heavy-tailed but without the extreme hubs that make dense-cycle
+// patterns infeasible at reproduction scale. The web-graph stand-ins in
+// Suite use it; see DESIGN.md §3.
+func RMATSoft(scale, edgeFactor int, seed int64) *graph.Graph {
+	return rmat(scale, edgeFactor, seed, 0.45, 0.22, 0.22)
+}
+
+func rmat(scale, edgeFactor int, seed int64, a, bb, c float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	m := edgeFactor * n
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		var u, v int
+		half := n / 2
+		for half >= 1 {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: nothing to add
+			case r < a+bb:
+				v += half
+			case r < a+bb+c:
+				u += half
+			default:
+				u += half
+				v += half
+			}
+			half /= 2
+		}
+		b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+	}
+	return b.BuildOrdered()
+}
+
+// Complete generates K_n, the complete graph on n vertices. Used by the
+// AGM-bound worst-case tests (Example II.1: the chordal square has
+// Θ(M²) results on a complete graph).
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	return b.Build() // already ordered: all degrees equal
+}
+
+// Grid generates the rows×cols 2D grid graph (4-neighborhood). Low,
+// uniform degree; useful as a "no skew, no triangles" stress case.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) graph.VertexID { return graph.VertexID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.BuildOrdered()
+}
+
+// Star generates K_{1,n}: one hub adjacent to n leaves. The extreme
+// cardinality-skew case for intersection benchmarks.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n + 1)
+	for i := 1; i <= n; i++ {
+		b.AddEdge(0, graph.VertexID(i))
+	}
+	return b.BuildOrdered()
+}

@@ -1,0 +1,170 @@
+package gen
+
+import (
+	"testing"
+
+	"light/internal/graph"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 300, 1)
+	if g.NumVertices() != 100 {
+		t.Fatalf("N = %d, want 100", g.NumVertices())
+	}
+	if g.NumEdges() != 300 {
+		t.Fatalf("M = %d, want 300", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsOrdered() {
+		t.Fatal("not degree-ordered")
+	}
+}
+
+func TestErdosRenyiSaturates(t *testing.T) {
+	// Asking for more edges than possible must terminate with K_n.
+	g := ErdosRenyi(5, 100, 1)
+	if g.NumEdges() != 10 {
+		t.Fatalf("M = %d, want 10 (complete)", g.NumEdges())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := BarabasiAlbert(200, 3, 7)
+	b := BarabasiAlbert(200, 3, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("BA not deterministic")
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		na, nb := a.Neighbors(graph.VertexID(v)), b.Neighbors(graph.VertexID(v))
+		if len(na) != len(nb) {
+			t.Fatalf("BA not deterministic at vertex %d", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("BA not deterministic at vertex %d", v)
+			}
+		}
+	}
+	c := RMAT(8, 4, 9)
+	d := RMAT(8, 4, 9)
+	if c.NumEdges() != d.NumEdges() {
+		t.Fatal("RMAT not deterministic")
+	}
+}
+
+func TestBarabasiAlbertSkew(t *testing.T) {
+	g := BarabasiAlbert(2000, 3, 11)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Preferential attachment must produce hubs: max degree well above
+	// the average.
+	if float64(g.MaxDegree()) < 5*g.AverageDegree() {
+		t.Fatalf("no skew: dmax=%d avg=%.1f", g.MaxDegree(), g.AverageDegree())
+	}
+	// Every vertex has degree >= k (each new vertex attaches k edges).
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(graph.VertexID(v)) < 3 {
+			t.Fatalf("vertex %d has degree %d < k", v, g.Degree(graph.VertexID(v)))
+		}
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	g := RMAT(10, 8, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1024 {
+		t.Fatalf("N = %d, want 1024", g.NumVertices())
+	}
+	if float64(g.MaxDegree()) < 4*g.AverageDegree() {
+		t.Fatalf("no skew: dmax=%d avg=%.1f", g.MaxDegree(), g.AverageDegree())
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(10)
+	if g.NumEdges() != 45 {
+		t.Fatalf("M = %d, want 45", g.NumEdges())
+	}
+	if g.MaxDegree() != 9 {
+		t.Fatalf("dmax = %d, want 9", g.MaxDegree())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumVertices() != 12 {
+		t.Fatalf("N = %d, want 12", g.NumVertices())
+	}
+	// 3 rows of 3 horizontal edges + 2 rows of 4 vertical edges = 9+8.
+	if g.NumEdges() != 17 {
+		t.Fatalf("M = %d, want 17", g.NumEdges())
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(6)
+	if g.NumVertices() != 7 || g.NumEdges() != 6 || g.MaxDegree() != 6 {
+		t.Fatalf("bad star: %v", g)
+	}
+}
+
+func TestSuite(t *testing.T) {
+	suite := Suite(1)
+	if len(suite) != 6 {
+		t.Fatalf("suite has %d datasets, want 6", len(suite))
+	}
+	var prevEdges int64
+	for i, d := range suite {
+		g := d.Make()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		t.Logf("%s (%s): %v", d.Name, d.Paper, g)
+		_ = i
+		_ = prevEdges
+	}
+	// The size ladder: fs-s must be the largest by edge count, yt-s among
+	// the smallest, as in the paper's Table II.
+	first := suite[0].Make()
+	last := suite[5].Make()
+	if last.NumEdges() <= first.NumEdges() {
+		t.Fatalf("size ladder broken: fs-s (%d) <= yt-s (%d)", last.NumEdges(), first.NumEdges())
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("yt-s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Paper != "youtube" {
+		t.Fatalf("Paper = %q", d.Paper)
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestRMATSoft(t *testing.T) {
+	soft := RMATSoft(10, 8, 3)
+	hard := RMAT(10, 8, 3)
+	if err := soft.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if soft.NumVertices() != 1024 {
+		t.Fatalf("N = %d", soft.NumVertices())
+	}
+	// Softer corner weights must produce a flatter degree distribution.
+	if soft.MaxDegree() >= hard.MaxDegree() {
+		t.Fatalf("soft dmax %d !< hard dmax %d", soft.MaxDegree(), hard.MaxDegree())
+	}
+	// ...but still skewed relative to the average.
+	if float64(soft.MaxDegree()) < 3*soft.AverageDegree() {
+		t.Fatalf("RMATSoft lost its skew: dmax=%d avg=%.1f", soft.MaxDegree(), soft.AverageDegree())
+	}
+}

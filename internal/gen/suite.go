@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"light/internal/graph"
+)
+
+// Dataset is one entry of the synthetic evaluation suite (the Table II
+// analog): a named, seeded generator invocation.
+type Dataset struct {
+	Name  string // short name mirroring the paper's (yt-s for youtube, …)
+	Paper string // the real-world graph it stands in for
+	Make  func() *graph.Graph
+}
+
+// Suite returns the six synthetic analogs of the paper's datasets, in the
+// paper's order. Sizes keep the paper's relative ladder (yt smallest and
+// sparse, fs largest) while staying laptop-sized. The scale parameter
+// multiplies all vertex counts; scale 1 targets seconds-per-experiment,
+// suitable for `go test`. The harness uses larger scales.
+func Suite(scale int) []Dataset {
+	if scale < 1 {
+		scale = 1
+	}
+	s := scale
+	return []Dataset{
+		{"yt-s", "youtube", func() *graph.Graph { return BarabasiAlbert(3200*s, 3, 101) }},
+		{"eu-s", "eu-2005", func() *graph.Graph { return RMATSoft(ilog2(900*s)+1, 10, 102) }},
+		{"lj-s", "live-journal", func() *graph.Graph { return BarabasiAlbert(4800*s, 7, 103) }},
+		{"ot-s", "com-orkut", func() *graph.Graph { return BarabasiAlbert(3100*s, 10, 104) }},
+		{"uk-s", "uk-2002", func() *graph.Graph { return RMATSoft(ilog2(6000*s)+1, 5, 105) }},
+		{"fs-s", "friendster", func() *graph.Graph { return BarabasiAlbert(14000*s, 6, 106) }},
+	}
+}
+
+// ByName returns the named dataset from Suite(scale), or an error listing
+// the valid names.
+func ByName(name string, scale int) (Dataset, error) {
+	suite := Suite(scale)
+	names := make([]string, 0, len(suite))
+	for _, d := range suite {
+		if d.Name == name {
+			return d, nil
+		}
+		names = append(names, d.Name)
+	}
+	sort.Strings(names)
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q (have %v)", name, names)
+}
+
+// ilog2 returns floor(log2(x)) for x >= 1.
+func ilog2(x int) int {
+	l := 0
+	for x > 1 {
+		x >>= 1
+		l++
+	}
+	return l
+}

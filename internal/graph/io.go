@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge-list stream: one
+// "u v" pair per line, '#' or '%' starting a comment line. Vertex IDs are
+// non-negative integers. Duplicate edges, reversed duplicates, and
+// self-loops are tolerated and deduplicated.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	b := NewBuilder(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least two fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[1], err)
+		}
+		b.AddEdge(VertexID(u), VertexID(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return b.Build(), nil
+}
+
+// LoadEdgeList reads an edge-list file (see ReadEdgeList) and returns the
+// graph relabeled into degree order. Files ending in .gz are
+// transparently decompressed (SNAP distributes its graphs gzipped).
+func LoadEdgeList(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	g, err := ReadEdgeList(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return Reorder(g), nil
+}
+
+// csrMagic identifies the binary CSR format.
+const csrMagic = 0x4c494748 // "LIGH"
+
+// WriteCSR serializes the graph in a compact little-endian binary format:
+// magic, version, N, then N+1 offsets (uint64) and 2M neighbor IDs
+// (uint32).
+func (g *Graph) WriteCSR(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := [4]uint64{csrMagic, 1, uint64(g.NumVertices()), uint64(len(g.adj))}
+	for _, x := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, x); err != nil {
+			return err
+		}
+	}
+	for _, off := range g.offsets {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(off)); err != nil {
+			return err
+		}
+	}
+	// Write adjacency in chunks to avoid reflection overhead per element.
+	const chunk = 1 << 16
+	buf := make([]byte, 4*chunk)
+	for i := 0; i < len(g.adj); i += chunk {
+		end := i + chunk
+		if end > len(g.adj) {
+			end = len(g.adj)
+		}
+		n := 0
+		for _, v := range g.adj[i:end] {
+			binary.LittleEndian.PutUint32(buf[n:], v)
+			n += 4
+		}
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSR deserializes a graph written by WriteCSR.
+func ReadCSR(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("graph: reading CSR header: %w", err)
+		}
+	}
+	if hdr[0] != csrMagic {
+		return nil, fmt.Errorf("graph: bad CSR magic %#x", hdr[0])
+	}
+	if hdr[1] != 1 {
+		return nil, fmt.Errorf("graph: unsupported CSR version %d", hdr[1])
+	}
+	n, m2 := int(hdr[2]), int(hdr[3])
+	// Sanity-cap the header sizes so a corrupted header cannot trigger a
+	// multi-terabyte allocation before the payload read fails.
+	const maxEntries = 1 << 31
+	if hdr[2] > maxEntries || hdr[3] > maxEntries || m2%2 != 0 {
+		return nil, fmt.Errorf("graph: implausible CSR header (N=%d, 2M=%d)", hdr[2], hdr[3])
+	}
+	g := &Graph{offsets: make([]int64, n+1), adj: make([]VertexID, m2)}
+	for i := range g.offsets {
+		var x uint64
+		if err := binary.Read(br, binary.LittleEndian, &x); err != nil {
+			return nil, fmt.Errorf("graph: reading CSR offsets: %w", err)
+		}
+		g.offsets[i] = int64(x)
+	}
+	buf := make([]byte, 4*(1<<16))
+	for i := 0; i < m2; {
+		want := (m2 - i) * 4
+		if want > len(buf) {
+			want = len(buf)
+		}
+		if _, err := io.ReadFull(br, buf[:want]); err != nil {
+			return nil, fmt.Errorf("graph: reading CSR adjacency: %w", err)
+		}
+		for j := 0; j < want; j += 4 {
+			g.adj[i] = binary.LittleEndian.Uint32(buf[j:])
+			i++
+		}
+	}
+	g.finalize()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: corrupt CSR payload: %w", err)
+	}
+	return g, nil
+}
+
+// SaveCSR writes the graph to path in the binary CSR format.
+func (g *Graph) SaveCSR(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteCSR(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSR reads a binary CSR graph from path.
+func LoadCSR(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadCSR(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"bytes"
+	"compress/gzip"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadEdgeListGzip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt.gz")
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte("# triangle\n0 1\n1 2\n2 0\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %v", g)
+	}
+	// Not actually gzip → clear error, not garbage parse.
+	bad := filepath.Join(dir, "bad.gz")
+	if err := os.WriteFile(bad, []byte("0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEdgeList(bad); err == nil {
+		t.Fatal("accepted non-gzip .gz file")
+	}
+}
+
+func TestLoadEdgeListPlainFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsOrdered() {
+		t.Fatal("LoadEdgeList must return a degree-ordered graph")
+	}
+}
+
+// TestReadCSRRejectsCorruption flips bytes all over a valid CSR payload
+// and requires every corrupted variant to either fail loading or still
+// satisfy Validate — never to yield a silently broken graph.
+func TestReadCSRRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	b := NewBuilder(40)
+	for i := 0; i < 120; i++ {
+		b.AddEdge(VertexID(rng.Intn(40)), VertexID(rng.Intn(40)))
+	}
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := g.WriteCSR(&buf); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for trial := 0; trial < 200; trial++ {
+		corrupted := append([]byte(nil), orig...)
+		pos := rng.Intn(len(corrupted))
+		corrupted[pos] ^= byte(1 + rng.Intn(255))
+		got, err := ReadCSR(bytes.NewReader(corrupted))
+		if err != nil {
+			continue // rejected: good
+		}
+		// Accepted: the flip must have been semantically harmless — the
+		// graph still passes full validation.
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("trial %d: corrupted CSR accepted but invalid: %v", trial, verr)
+		}
+	}
+}
+
+// TestReadCSRTruncation: every truncation must error, never hang or
+// return a partial graph.
+func TestReadCSRTruncation(t *testing.T) {
+	b := NewBuilder(10)
+	for i := 0; i < 9; i++ {
+		b.AddEdge(VertexID(i), VertexID(i+1))
+	}
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := g.WriteCSR(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := ReadCSR(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestSaveLoadCSRFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.csr")
+	g := FromAdjacency([][]VertexID{{1, 2}, {0}, {0}})
+	if err := g.SaveCSR(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadCSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := LoadCSR(filepath.Join(dir, "missing.csr")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := g.SaveCSR(filepath.Join(dir, "nodir", "g.csr")); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

@@ -1,0 +1,380 @@
+// Package intersect implements the sorted-set intersection kernels of the
+// paper's Section VII-A: Merge (linear two-pointer), Galloping
+// (exponential-probe binary search for cardinality-skewed inputs), and
+// Hybrid (Algorithm 4: Merge when |S1|/|S2| and |S2|/|S1| are below the
+// threshold δ, Galloping otherwise; δ defaults to 50 as in the paper).
+//
+// The paper implements Merge and Hybrid with AVX2. Go has no SIMD
+// intrinsics in the standard toolchain, so this package substitutes
+// Block kernels: 8-lane block-skipping, branch-reduced scalar loops with
+// the same algorithmic structure (block max compare, skip-ahead) as the
+// vectorized versions. See DESIGN.md §3 for why this preserves the
+// experiments' shape.
+//
+// All kernels take strictly sorted uint32 slices and write the
+// intersection into a caller-provided destination with capacity at least
+// min(len(a), len(b)), keeping the hot path allocation-free. dst may
+// alias a. Each kernel returns the number of elements written.
+package intersect
+
+import "light/internal/graph"
+
+// DefaultDelta is the Hybrid size-ratio threshold δ from the paper
+// (configured as 50 based on Lemire et al.'s performance study).
+const DefaultDelta = 50
+
+// lane is the simulated SIMD width (AVX2 holds eight 32-bit lanes).
+const lane = 8
+
+// Kind selects an intersection kernel.
+type Kind int
+
+const (
+	// KindMerge is the linear two-pointer merge, O(|S1|+|S2|).
+	KindMerge Kind = iota
+	// KindMergeBlock is Merge with 8-lane block skipping — the stand-in
+	// for the paper's MergeAVX2.
+	KindMergeBlock
+	// KindGalloping scans the smaller set and exponentially probes the
+	// larger, O(|S1|·log|S2|) for |S1| < |S2|.
+	KindGalloping
+	// KindHybrid is Algorithm 4 with scalar Merge.
+	KindHybrid
+	// KindHybridBlock is Algorithm 4 with block-skipping Merge — the
+	// stand-in for the paper's HybridAVX2.
+	KindHybridBlock
+)
+
+// String returns the kernel name as used in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case KindMerge:
+		return "Merge"
+	case KindMergeBlock:
+		return "MergeBlock"
+	case KindGalloping:
+		return "Galloping"
+	case KindHybrid:
+		return "Hybrid"
+	case KindHybridBlock:
+		return "HybridBlock"
+	}
+	return "Unknown"
+}
+
+// ParseKind maps a kernel name (as printed by String) to its Kind.
+func ParseKind(s string) (Kind, bool) {
+	for k := KindMerge; k <= KindHybridBlock; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Stats counts kernel invocations, letting experiments report the number
+// of set intersections (Fig 5) and the Galloping share (Table III).
+// Counters are not synchronized; use one Stats per worker and Add them.
+type Stats struct {
+	Intersections uint64 // total pairwise intersection operations
+	Galloping     uint64 // how many of them used the galloping path
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Intersections += other.Intersections
+	s.Galloping += other.Galloping
+}
+
+// GallopingPercent returns the percentage of intersections that used the
+// galloping path (Table III), or 0 when no intersections ran.
+func (s *Stats) GallopingPercent() float64 {
+	if s.Intersections == 0 {
+		return 0
+	}
+	return 100 * float64(s.Galloping) / float64(s.Intersections)
+}
+
+// Pair intersects a and b into dst using kernel k with threshold delta,
+// recording the operation in stats (which may be nil). It returns the
+// number of elements written. This is the instrumented entry point the
+// enumeration engines use.
+func Pair(dst, a, b []graph.VertexID, k Kind, delta int, stats *Stats) int {
+	if stats != nil {
+		stats.Intersections++
+	}
+	switch k {
+	case KindMerge:
+		return Merge(dst, a, b)
+	case KindMergeBlock:
+		return MergeBlock(dst, a, b)
+	case KindGalloping:
+		if stats != nil {
+			stats.Galloping++
+		}
+		return Galloping(dst, a, b)
+	case KindHybrid:
+		if skewed(len(a), len(b), delta) {
+			if stats != nil {
+				stats.Galloping++
+			}
+			return Galloping(dst, a, b)
+		}
+		return Merge(dst, a, b)
+	case KindHybridBlock:
+		if skewed(len(a), len(b), delta) {
+			if stats != nil {
+				stats.Galloping++
+			}
+			return Galloping(dst, a, b)
+		}
+		return MergeBlock(dst, a, b)
+	}
+	return Merge(dst, a, b)
+}
+
+// Merge intersects two sorted sets with the classic two-pointer loop.
+func Merge(dst, a, b []graph.VertexID) int {
+	dst = dst[:cap(dst)]
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		if x == y {
+			dst[n] = x
+			n++
+			i++
+			j++
+		} else if x < y {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+// MergeBlock is Merge restructured the way the SIMD kernel is: whole
+// 8-element blocks whose maximum is below the other side's current
+// minimum are skipped with a single comparison (the vector compare), and
+// only value-overlapping windows are merged element-wise.
+func MergeBlock(dst, a, b []graph.VertexID) int {
+	dst = dst[:cap(dst)]
+	n := 0
+	i, j := 0, 0
+	for i+lane <= len(a) && j+lane <= len(b) {
+		amax, bmax := a[i+lane-1], b[j+lane-1]
+		if amax < b[j] {
+			i += lane
+			continue
+		}
+		if bmax < a[i] {
+			j += lane
+			continue
+		}
+		// The blocks overlap in value range, so both starting values are
+		// at most lim and the inner merge makes progress.
+		lim := amax
+		if bmax < lim {
+			lim = bmax
+		}
+		for a[i] <= lim && b[j] <= lim {
+			x, y := a[i], b[j]
+			if x == y {
+				dst[n] = x
+				n++
+				i++
+				j++
+				if i == len(a) || j == len(b) {
+					return n
+				}
+			} else if x < y {
+				i++
+			} else {
+				j++
+			}
+		}
+	}
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		if x == y {
+			dst[n] = x
+			n++
+			i++
+			j++
+		} else if x < y {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+// gallop returns the smallest index idx >= lo with s[idx] >= x, probing
+// exponentially from lo and finishing with binary search.
+func gallop(s []graph.VertexID, lo int, x graph.VertexID) int {
+	if lo >= len(s) || s[lo] >= x {
+		return lo
+	}
+	bound := 1
+	for lo+bound < len(s) && s[lo+bound] < x {
+		bound <<= 1
+	}
+	hi := lo + bound
+	if hi > len(s) {
+		hi = len(s)
+	}
+	lo += bound >> 1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Galloping scans the smaller set and locates each element in the larger
+// one with exponential search. O(|small|·log|large|) — the right tool
+// under cardinality skew.
+func Galloping(dst, a, b []graph.VertexID) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	dst = dst[:cap(dst)]
+	n := 0
+	j := 0
+	for _, x := range a {
+		j = gallop(b, j, x)
+		if j == len(b) {
+			break
+		}
+		if b[j] == x {
+			dst[n] = x
+			n++
+			j++
+		}
+	}
+	return n
+}
+
+// Hybrid is Algorithm 4 with scalar Merge: Merge when the size ratio is
+// below delta in both directions, Galloping otherwise. If stats is
+// non-nil the invocation is counted.
+func Hybrid(dst, a, b []graph.VertexID, delta int, stats *Stats) int {
+	return Pair(dst, a, b, KindHybrid, delta, stats)
+}
+
+// HybridBlock is Hybrid with the block-skipping merge (the HybridAVX2
+// stand-in).
+func HybridBlock(dst, a, b []graph.VertexID, delta int, stats *Stats) int {
+	return Pair(dst, a, b, KindHybridBlock, delta, stats)
+}
+
+// skewed reports whether the cardinality ratio reaches delta in either
+// direction (the negation of Algorithm 4's Merge condition). Empty sets
+// count as skewed so the O(min) galloping path handles them in O(1).
+func skewed(la, lb, delta int) bool {
+	if la == 0 || lb == 0 {
+		return true
+	}
+	return la/lb >= delta || lb/la >= delta
+}
+
+// Count returns |a ∩ b| without materializing the result, using the
+// hybrid strategy with threshold delta.
+func Count(a, b []graph.VertexID, delta int) int {
+	if skewed(len(a), len(b), delta) {
+		return countGalloping(a, b)
+	}
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		if x == y {
+			n++
+			i++
+			j++
+		} else if x < y {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+func countGalloping(a, b []graph.VertexID) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	n := 0
+	j := 0
+	for _, x := range a {
+		j = gallop(b, j, x)
+		if j == len(b) {
+			break
+		}
+		if b[j] == x {
+			n++
+			j++
+		}
+	}
+	return n
+}
+
+// Contains reports whether sorted set s contains x, by binary search.
+func Contains(s []graph.VertexID, x graph.VertexID) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == x
+}
+
+// MultiWay intersects sets[0] ∩ sets[1] ∩ … into dst, smallest set first
+// so the running time is proportional to the minimum cardinality (the min
+// property, Definition II.6). scratch is a second buffer of the same
+// capacity used for ping-ponging; dst and scratch must each have capacity
+// at least min over sets of len. Returns the count written into dst.
+//
+// The sets slice is reordered in place (ascending length). With one set,
+// its contents are copied into dst.
+func MultiWay(dst, scratch []graph.VertexID, sets [][]graph.VertexID, k Kind, delta int, stats *Stats) int {
+	switch len(sets) {
+	case 0:
+		return 0
+	case 1:
+		return copy(dst[:cap(dst)], sets[0])
+	}
+	// Selection sort by length: set counts are tiny (≤ pattern degree).
+	for i := range sets {
+		min := i
+		for j := i + 1; j < len(sets); j++ {
+			if len(sets[j]) < len(sets[min]) {
+				min = j
+			}
+		}
+		sets[i], sets[min] = sets[min], sets[i]
+	}
+	cur, other := dst, scratch
+	inDst := true
+	n := Pair(cur, sets[0], sets[1], k, delta, stats)
+	for i := 2; i < len(sets) && n > 0; i++ {
+		n = Pair(other, cur[:n], sets[i], k, delta, stats)
+		cur, other = other, cur
+		inDst = !inDst
+	}
+	if !inDst {
+		copy(dst[:n], cur[:n])
+	}
+	return n
+}

@@ -1,0 +1,365 @@
+package intersect
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"light/internal/graph"
+)
+
+// ids converts ints to VertexIDs for test brevity.
+func ids(xs ...int) []graph.VertexID {
+	out := make([]graph.VertexID, len(xs))
+	for i, x := range xs {
+		out[i] = graph.VertexID(x)
+	}
+	return out
+}
+
+// refIntersect is the trivially correct reference.
+func refIntersect(a, b []graph.VertexID) []graph.VertexID {
+	in := map[graph.VertexID]bool{}
+	for _, x := range a {
+		in[x] = true
+	}
+	var out []graph.VertexID
+	for _, x := range b {
+		if in[x] {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// randomSorted returns a strictly sorted random set of size up to maxLen
+// over [0, universe).
+func randomSorted(rng *rand.Rand, maxLen, universe int) []graph.VertexID {
+	n := rng.Intn(maxLen + 1)
+	seen := map[graph.VertexID]bool{}
+	for len(seen) < n {
+		seen[graph.VertexID(rng.Intn(universe))] = true
+	}
+	out := make([]graph.VertexID, 0, n)
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func runKernel(k Kind, a, b []graph.VertexID) []graph.VertexID {
+	capN := len(a)
+	if len(b) < capN {
+		capN = len(b)
+	}
+	dst := make([]graph.VertexID, 0, capN)
+	n := Pair(dst, a, b, k, DefaultDelta, nil)
+	return dst[:n]
+}
+
+var allKinds = []Kind{KindMerge, KindMergeBlock, KindGalloping, KindHybrid, KindHybridBlock}
+
+func TestKernelsFixedCases(t *testing.T) {
+	cases := []struct{ a, b, want []graph.VertexID }{
+		{ids(), ids(), ids()},
+		{ids(1), ids(), ids()},
+		{ids(), ids(1), ids()},
+		{ids(1, 2, 3), ids(2, 3, 4), ids(2, 3)},
+		{ids(1, 3, 5, 7), ids(2, 4, 6, 8), ids()},
+		{ids(1, 2, 3), ids(1, 2, 3), ids(1, 2, 3)},
+		{ids(5), ids(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16), ids(5)},
+		{ids(0, 100, 200, 300), ids(0, 1, 2, 3, 4, 5, 6, 7, 100, 300, 301, 302, 303, 304, 305, 306, 307), ids(0, 100, 300)},
+	}
+	for _, k := range allKinds {
+		for ci, c := range cases {
+			got := runKernel(k, c.a, c.b)
+			if len(got) == 0 && len(c.want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("%v case %d: got %v, want %v", k, ci, got, c.want)
+			}
+		}
+	}
+}
+
+func TestKernelsAgreeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		a := randomSorted(rng, 120, 300)
+		b := randomSorted(rng, 120, 300)
+		want := refIntersect(a, b)
+		for _, k := range allKinds {
+			got := runKernel(k, a, b)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d kernel %v: got %v, want %v (a=%v b=%v)", trial, k, got, want, a, b)
+			}
+		}
+	}
+}
+
+func TestKernelsSkewed(t *testing.T) {
+	// Heavy skew exercises the galloping path inside Hybrid.
+	rng := rand.New(rand.NewSource(5))
+	big := randomSorted(rng, 5000, 20000)
+	for trial := 0; trial < 50; trial++ {
+		small := randomSorted(rng, 8, 20000)
+		want := refIntersect(small, big)
+		for _, k := range allKinds {
+			got := runKernel(k, small, big)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("kernel %v skewed: got %v, want %v", k, got, want)
+			}
+			// Symmetric argument order must agree too.
+			got2 := runKernel(k, big, small)
+			if !reflect.DeepEqual(got2, got) {
+				t.Fatalf("kernel %v not symmetric", k)
+			}
+		}
+	}
+}
+
+func TestDstMayAliasA(t *testing.T) {
+	for _, k := range allKinds {
+		a := ids(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18)
+		b := ids(2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32, 34, 36)
+		n := Pair(a[:0], a, b, k, DefaultDelta, nil)
+		want := ids(2, 4, 6, 8, 10, 12, 14, 16, 18)
+		if !reflect.DeepEqual(a[:n], want) {
+			t.Errorf("%v with dst aliasing a: got %v, want %v", k, a[:n], want)
+		}
+	}
+}
+
+func TestHybridDispatch(t *testing.T) {
+	var st Stats
+	small := ids(1)
+	big := make([]graph.VertexID, 100)
+	for i := range big {
+		big[i] = graph.VertexID(2 * i)
+	}
+	dst := make([]graph.VertexID, 0, len(big))
+	Pair(dst, small, big, KindHybrid, DefaultDelta, &st) // ratio 100 ≥ 50 → galloping
+	if st.Galloping != 1 || st.Intersections != 1 {
+		t.Fatalf("skewed pair not dispatched to galloping: %+v", st)
+	}
+	Pair(dst, big[:50], big, KindHybrid, DefaultDelta, &st) // ratio 2 < 50 → merge
+	if st.Galloping != 1 || st.Intersections != 2 {
+		t.Fatalf("balanced pair dispatched wrongly: %+v", st)
+	}
+	if p := st.GallopingPercent(); p != 50 {
+		t.Fatalf("GallopingPercent = %v, want 50", p)
+	}
+	// Empty input counts as skewed (O(1) instead of O(len)).
+	Pair(dst, nil, big, KindHybrid, DefaultDelta, &st)
+	if st.Galloping != 2 {
+		t.Fatalf("empty set should gallop: %+v", st)
+	}
+}
+
+func TestCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 200; trial++ {
+		a := randomSorted(rng, 80, 150)
+		b := randomSorted(rng, 80, 150)
+		if got, want := Count(a, b, DefaultDelta), len(refIntersect(a, b)); got != want {
+			t.Fatalf("Count = %d, want %d", got, want)
+		}
+	}
+	// Force both dispatch paths.
+	if Count(ids(1), ids(1, 2, 3), 1) != 1 {
+		t.Fatal("galloping count wrong")
+	}
+	if Count(ids(1, 2), ids(2, 3), 100) != 1 {
+		t.Fatal("merge count wrong")
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := ids(2, 4, 6, 8)
+	for _, x := range []int{2, 4, 6, 8} {
+		if !Contains(s, graph.VertexID(x)) {
+			t.Errorf("Contains(%d) = false", x)
+		}
+	}
+	for _, x := range []int{0, 1, 3, 5, 7, 9} {
+		if Contains(s, graph.VertexID(x)) {
+			t.Errorf("Contains(%d) = true", x)
+		}
+	}
+	if Contains(nil, 1) {
+		t.Error("Contains on empty set")
+	}
+}
+
+func TestMultiWay(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(4)
+		sets := make([][]graph.VertexID, k)
+		minLen := 1 << 30
+		for i := range sets {
+			sets[i] = randomSorted(rng, 60, 100)
+			if len(sets[i]) < minLen {
+				minLen = len(sets[i])
+			}
+		}
+		want := sets[0]
+		for _, s := range sets[1:] {
+			want = refIntersect(want, s)
+		}
+		dst := make([]graph.VertexID, minLen)
+		scratch := make([]graph.VertexID, minLen)
+		var st Stats
+		n := MultiWay(dst, scratch, sets, KindHybrid, DefaultDelta, &st)
+		got := dst[:n]
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: MultiWay len %d, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: MultiWay[%d] = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+		if k >= 2 && st.Intersections == 0 {
+			t.Fatal("stats not recorded")
+		}
+		if st.Intersections > uint64(k-1) {
+			t.Fatalf("MultiWay did %d intersections for %d sets (early exit broken?)", st.Intersections, k)
+		}
+	}
+}
+
+func TestMultiWayEdgeCases(t *testing.T) {
+	if n := MultiWay(nil, nil, nil, KindMerge, DefaultDelta, nil); n != 0 {
+		t.Fatalf("empty MultiWay = %d", n)
+	}
+	dst := make([]graph.VertexID, 3)
+	if n := MultiWay(dst, nil, [][]graph.VertexID{ids(1, 2, 3)}, KindMerge, DefaultDelta, nil); n != 3 {
+		t.Fatalf("single-set MultiWay = %d, want 3", n)
+	}
+	// An empty operand short-circuits: one intersection at most.
+	var st Stats
+	scratch := make([]graph.VertexID, 3)
+	n := MultiWay(dst, scratch, [][]graph.VertexID{ids(1, 2), ids(), ids(1)}, KindMerge, DefaultDelta, &st)
+	if n != 0 {
+		t.Fatalf("MultiWay with empty operand = %d, want 0", n)
+	}
+	if st.Intersections != 1 {
+		t.Fatalf("expected early exit after 1 intersection, did %d", st.Intersections)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range allKinds {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseKind("avx512"); ok {
+		t.Error("ParseKind accepted junk")
+	}
+	if Kind(99).String() != "Unknown" {
+		t.Error("unknown Kind String")
+	}
+}
+
+// TestQuickKernelEquivalence property-checks all kernels against the map
+// reference on arbitrary inputs.
+func TestQuickKernelEquivalence(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a := dedupSort(xs)
+		b := dedupSort(ys)
+		want := refIntersect(a, b)
+		for _, k := range allKinds {
+			got := runKernel(k, a, b)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dedupSort(xs []uint16) []graph.VertexID {
+	seen := map[graph.VertexID]bool{}
+	for _, x := range xs {
+		seen[graph.VertexID(x)] = true
+	}
+	out := make([]graph.VertexID, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func BenchmarkKernels(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	balanced := [2][]graph.VertexID{randomSorted(rng, 4096, 1<<20), randomSorted(rng, 4096, 1<<20)}
+	skewed := [2][]graph.VertexID{randomSorted(rng, 32, 1<<20), randomSorted(rng, 8192, 1<<20)}
+	dst := make([]graph.VertexID, 8192)
+	for _, k := range allKinds {
+		b.Run(k.String()+"/balanced", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Pair(dst, balanced[0], balanced[1], k, DefaultDelta, nil)
+			}
+		})
+		b.Run(k.String()+"/skewed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Pair(dst, skewed[0], skewed[1], k, DefaultDelta, nil)
+			}
+		})
+	}
+}
+
+func TestMergeBlockLaneBoundaries(t *testing.T) {
+	// Adversarial inputs around the 8-lane block size: equal runs, runs
+	// straddling block edges, and lengths exactly at multiples of 8.
+	mk := func(start, n, step int) []graph.VertexID {
+		out := make([]graph.VertexID, n)
+		for i := range out {
+			out[i] = graph.VertexID(start + i*step)
+		}
+		return out
+	}
+	cases := [][2][]graph.VertexID{
+		{mk(0, 16, 1), mk(0, 16, 1)},   // identical, two full blocks
+		{mk(0, 16, 1), mk(8, 16, 1)},   // half-overlap at block edge
+		{mk(0, 24, 2), mk(1, 24, 2)},   // fully interleaved, no matches
+		{mk(0, 8, 1), mk(0, 9, 1)},     // one exactly a block, one not
+		{mk(0, 17, 3), mk(0, 17, 5)},   // coprime strides
+		{mk(0, 8, 100), mk(700, 8, 1)}, // disjoint ranges, block skip path
+	}
+	for i, c := range cases {
+		want := refIntersect(c[0], c[1])
+		got := runKernel(KindMergeBlock, c[0], c[1])
+		if len(got) != len(want) {
+			t.Fatalf("case %d: got %v, want %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("case %d: got %v, want %v", i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package parallel runs an enumeration plan across multiple workers
+// (the paper's Section VII-B SMT parallelization). Two schedulers are
+// provided:
+//
+//   - WorkStealing (default, the paper's design): workers start from
+//     dynamic chunks of the root candidate set and, while busy, donate
+//     halves of their current materialization loops to a global
+//     concurrent queue whenever idle workers are waiting — the
+//     sender-initiated strategy of Rao & Kumar / Acar et al. that the
+//     paper adopts.
+//   - RootChunk (the ablation baseline): dynamic root chunks only, no
+//     donation. Suffers when a few hub vertices dominate the search.
+//
+// Workers never share partial results; each owns an Enumerator with its
+// candidate buffers, so memory stays O(workers · n · d_max) as in the
+// paper's analysis.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"light/internal/engine"
+	"light/internal/graph"
+	"light/internal/plan"
+)
+
+// Scheduler selects the load-balancing strategy.
+type Scheduler int
+
+const (
+	// WorkStealing is the paper's sender-initiated donation scheme.
+	WorkStealing Scheduler = iota
+	// RootChunk partitions only the root candidate set, dynamically.
+	RootChunk
+	// StaticPartition splits the root candidates into one fixed range
+	// per worker with no rebalancing — the paper's "naive distributed
+	// LIGHT" (Section VIII-A), which it reports suffering from load
+	// imbalance. Kept as a measurable baseline.
+	StaticPartition
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case RootChunk:
+		return "RootChunk"
+	case StaticPartition:
+		return "StaticPartition"
+	}
+	return "WorkStealing"
+}
+
+// Options configure a parallel run.
+type Options struct {
+	Engine engine.Options
+	// Workers is the number of worker goroutines; defaults to GOMAXPROCS.
+	Workers int
+	// Scheduler defaults to WorkStealing.
+	Scheduler Scheduler
+	// ChunkSize is the number of root candidates claimed at a time
+	// (default 256).
+	ChunkSize int
+	// MinSplit is the smallest materialization loop a worker will split
+	// for donation (default 8).
+	MinSplit int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 256
+	}
+	if o.MinSplit <= 0 {
+		o.MinSplit = 8
+	}
+	return o
+}
+
+// Result extends the engine result with scheduler observability.
+type Result struct {
+	engine.Result
+	Donations           uint64 // frames pushed to the global queue
+	Steals              uint64 // frames executed by a worker other than the donor
+	Workers             int
+	CandidateMemBytes   int64 // total candidate-buffer memory across workers (Table V)
+	RootChunksDispensed uint64
+	// PerWorkerNodes is the search-tree nodes each worker expanded — the
+	// load-balance evidence (static partitioning shows wide spreads on
+	// hub-dominated graphs; work stealing flattens them).
+	PerWorkerNodes []uint64
+}
+
+// Run enumerates pl over g with opts.Workers workers and returns the
+// combined result. If visit is non-nil it is serialized by a mutex, so
+// enumeration-mode scaling is limited; counting mode (visit == nil) is
+// fully parallel.
+func Run(g *graph.Graph, pl *plan.Plan, opts Options, visit engine.VisitFunc) (Result, error) {
+	opts = opts.withDefaults()
+	// Pin one absolute deadline for the whole run: workers process many
+	// chunks and frames, each of which restarts the engine's clock.
+	if opts.Engine.TimeLimit > 0 && opts.Engine.Deadline.IsZero() {
+		opts.Engine.Deadline = time.Now().Add(opts.Engine.TimeLimit)
+	}
+	if visit != nil {
+		var mu sync.Mutex
+		inner := visit
+		visit = func(m []graph.VertexID) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return inner(m)
+		}
+	}
+
+	p := &pool{
+		g:     g,
+		pl:    pl,
+		opts:  opts,
+		visit: visit,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	n := g.NumVertices()
+	p.roots = make([]graph.VertexID, n)
+	for i := range p.roots {
+		p.roots[i] = graph.VertexID(i)
+	}
+
+	var wg sync.WaitGroup
+	results := make([]engine.Result, opts.Workers)
+	errs := make([]error, opts.Workers)
+	memBytes := make([]int64, opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], memBytes[w], errs[w] = p.worker(w)
+		}(w)
+	}
+	wg.Wait()
+
+	var out Result
+	out.Workers = opts.Workers
+	out.PerWorkerNodes = make([]uint64, opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		out.Result.Add(results[w])
+		out.CandidateMemBytes += memBytes[w]
+		out.PerWorkerNodes[w] = results[w].Nodes
+	}
+	out.Donations = p.donations.Load()
+	out.Steals = p.steals.Load()
+	out.RootChunksDispensed = p.chunks.Load()
+	var err error
+	for _, e := range errs {
+		if e != nil {
+			err = e
+			break
+		}
+	}
+	return out, err
+}
+
+// pool is the shared scheduler state.
+type pool struct {
+	g     *graph.Graph
+	pl    *plan.Plan
+	opts  Options
+	visit engine.VisitFunc
+
+	roots  []graph.VertexID
+	cursor atomic.Int64 // next unclaimed root index
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*engine.Frame
+	idle     int
+	finished bool
+	stop     atomic.Bool
+	hungry   atomic.Int32 // idle workers wanting tasks (donation trigger)
+	chunks   atomic.Uint64
+
+	donations atomic.Uint64
+	steals    atomic.Uint64
+}
+
+// worker runs until the roots are exhausted and the queue stays empty
+// with every other worker idle.
+func (p *pool) worker(idx int) (engine.Result, int64, error) {
+	e := engine.New(p.g, p.pl, p.opts.Engine)
+	e.Stop = &p.stop
+	if p.opts.Scheduler == WorkStealing {
+		e.Hook = p.makeHook()
+	}
+	var acc engine.Result
+	if p.opts.Scheduler == StaticPartition {
+		// One fixed slice per worker, no rebalancing of any kind.
+		n := len(p.roots)
+		lo := idx * n / p.opts.Workers
+		hi := (idx + 1) * n / p.opts.Workers
+		res, err := e.RunRoots(p.roots[lo:hi], p.visit)
+		if err != nil || res.Stopped {
+			p.stop.Store(true)
+		}
+		acc.Add(res)
+		return acc, e.CandidateMemoryBytes(), err
+	}
+	for {
+		// Phase 1: claim a root chunk.
+		if lo := p.cursor.Add(int64(p.opts.ChunkSize)) - int64(p.opts.ChunkSize); lo < int64(len(p.roots)) {
+			hi := lo + int64(p.opts.ChunkSize)
+			if hi > int64(len(p.roots)) {
+				hi = int64(len(p.roots))
+			}
+			p.chunks.Add(1)
+			res, err := e.RunRoots(p.roots[lo:hi], p.visit)
+			acc.Add(res)
+			if err != nil || res.Stopped {
+				p.stop.Store(true)
+				p.wakeAll()
+				return acc, e.CandidateMemoryBytes(), err
+			}
+			continue
+		}
+		// Phase 2: take donated frames, or wait for some.
+		f, ok := p.takeFrame()
+		if !ok {
+			return acc, e.CandidateMemoryBytes(), nil
+		}
+		p.steals.Add(1)
+		res, err := e.Resume(f, p.visit)
+		acc.Add(res)
+		if err != nil || res.Stopped {
+			p.stop.Store(true)
+			p.wakeAll()
+			return acc, e.CandidateMemoryBytes(), err
+		}
+	}
+}
+
+// makeHook builds the sender-initiated donation hook: when idle workers
+// are waiting and the queue is empty, split the remaining candidates of
+// the current materialization loop in half and publish a frame.
+func (p *pool) makeHook() engine.MatHook {
+	return func(e *engine.Enumerator, sigmaIdx int, cands []graph.VertexID) int {
+		if len(cands) < p.opts.MinSplit || p.hungry.Load() == 0 {
+			return len(cands)
+		}
+		p.mu.Lock()
+		if p.idle == 0 || len(p.queue) >= p.idle {
+			p.mu.Unlock()
+			return len(cands)
+		}
+		keep := len(cands) / 2
+		f := e.Snapshot(sigmaIdx, cands[keep:])
+		p.queue = append(p.queue, f)
+		p.donations.Add(1)
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return keep
+	}
+}
+
+// takeFrame blocks until a frame is available or the pool terminates.
+func (p *pool) takeFrame() (*engine.Frame, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.idle++
+	p.hungry.Add(1)
+	for {
+		if len(p.queue) > 0 {
+			f := p.queue[len(p.queue)-1]
+			p.queue = p.queue[:len(p.queue)-1]
+			p.idle--
+			p.hungry.Add(-1)
+			return f, true
+		}
+		if p.finished || p.stop.Load() || p.idle == p.opts.Workers {
+			// Termination: all workers idle and nothing queued. Latch the
+			// state and wake the rest so they observe it too.
+			p.finished = true
+			p.cond.Broadcast()
+			p.idle--
+			p.hungry.Add(-1)
+			return nil, false
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *pool) wakeAll() {
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

@@ -1,0 +1,145 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The evaluation pattern catalog (the paper's Figure 3 analog; see
+// DESIGN.md §4): seven patterns with n ∈ [4,6] and m ∈ [4,10], plus the
+// small classics used in tests and examples.
+
+// Triangle is K3.
+func Triangle() *Pattern {
+	return MustNew("triangle", 3, [][2]Vertex{{0, 1}, {1, 2}, {0, 2}})
+}
+
+// Path returns the simple path on k vertices.
+func Path(k int) *Pattern {
+	edges := make([][2]Vertex, 0, k-1)
+	for i := 0; i+1 < k; i++ {
+		edges = append(edges, [2]Vertex{i, i + 1})
+	}
+	return MustNew(fmt.Sprintf("path%d", k), k, edges)
+}
+
+// Cycle returns the cycle on k vertices.
+func Cycle(k int) *Pattern {
+	edges := make([][2]Vertex, 0, k)
+	for i := 0; i < k; i++ {
+		edges = append(edges, [2]Vertex{i, (i + 1) % k})
+	}
+	return MustNew(fmt.Sprintf("cycle%d", k), k, edges)
+}
+
+// Clique returns K_k.
+func Clique(k int) *Pattern {
+	var edges [][2]Vertex
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges, [2]Vertex{i, j})
+		}
+	}
+	return MustNew(fmt.Sprintf("clique%d", k), k, edges)
+}
+
+// StarPattern returns K_{1,k}: vertex 0 adjacent to k leaves.
+func StarPattern(k int) *Pattern {
+	edges := make([][2]Vertex, 0, k)
+	for i := 1; i <= k; i++ {
+		edges = append(edges, [2]Vertex{0, i})
+	}
+	return MustNew(fmt.Sprintf("star%d", k), k+1, edges)
+}
+
+// P1 is the square: the 4-cycle u0-u1-u2-u3. n=4 m=4.
+func P1() *Pattern {
+	return MustNew("P1-square", 4, [][2]Vertex{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+}
+
+// P2 is the chordal square of the paper's running example (Fig 1a): the
+// 4-cycle plus chord u0-u2. n=4 m=5.
+func P2() *Pattern {
+	return MustNew("P2-chordalsquare", 4, [][2]Vertex{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+}
+
+// P3 is the 4-clique. n=4 m=6.
+func P3() *Pattern { p := Clique(4); p.name = "P3-4clique"; return p }
+
+// P4 is the house: the square u0-u1-u2-u3 with an apex u4 adjacent to u0
+// and u1. n=5 m=6.
+func P4() *Pattern {
+	return MustNew("P4-house", 5, [][2]Vertex{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}, {1, 4}})
+}
+
+// P5 is the double square (ladder): squares u0-u1-u3-u2 and u2-u3-u5-u4
+// sharing edge u2-u3. n=6 m=7. P5 has the most vertices in the catalog,
+// matching the paper's Table V note.
+func P5() *Pattern {
+	return MustNew("P5-doublesquare", 6, [][2]Vertex{
+		{0, 1}, {0, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 5}, {4, 5},
+	})
+}
+
+// P6 is the near-5-clique: K5 minus edges u0-u3 and u1-u4. n=5 m=8.
+func P6() *Pattern {
+	return MustNew("P6-near5clique", 5, [][2]Vertex{
+		{0, 1}, {0, 2}, {0, 4}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4},
+	})
+}
+
+// P7 is the 5-clique. n=5 m=10.
+func P7() *Pattern { p := Clique(5); p.name = "P7-5clique"; return p }
+
+// Catalog returns P1–P7 in order.
+func Catalog() []*Pattern {
+	return []*Pattern{P1(), P2(), P3(), P4(), P5(), P6(), P7()}
+}
+
+// ByName returns a catalog or classic pattern by name: "P1".."P7",
+// "triangle", "square", "cycleK", "pathK", "cliqueK", "starK" (K a small
+// integer, e.g. "clique4").
+func ByName(name string) (*Pattern, error) {
+	switch name {
+	case "P1":
+		return P1(), nil
+	case "P2":
+		return P2(), nil
+	case "P3":
+		return P3(), nil
+	case "P4":
+		return P4(), nil
+	case "P5":
+		return P5(), nil
+	case "P6":
+		return P6(), nil
+	case "P7":
+		return P7(), nil
+	case "triangle":
+		return Triangle(), nil
+	case "square":
+		return P1(), nil
+	}
+	var k int
+	for _, pref := range []string{"cycle", "path", "clique", "star"} {
+		minK := 3
+		if pref == "path" {
+			minK = 2 // path2 is the single-edge pattern
+		}
+		if _, err := fmt.Sscanf(name, pref+"%d", &k); err == nil && k >= minK && k <= MaxVertices-1 {
+			switch pref {
+			case "cycle":
+				return Cycle(k), nil
+			case "path":
+				return Path(k), nil
+			case "clique":
+				return Clique(k), nil
+			case "star":
+				return StarPattern(k), nil
+			}
+		}
+	}
+	names := []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "triangle", "square", "cycleK", "pathK", "cliqueK", "starK"}
+	sort.Strings(names)
+	return nil, fmt.Errorf("pattern: unknown pattern %q (have %v)", name, names)
+}

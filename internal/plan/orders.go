@@ -1,0 +1,146 @@
+package plan
+
+import (
+	"fmt"
+
+	"light/internal/estimate"
+	"light/internal/pattern"
+)
+
+// ConnectedOrders enumerates every connected enumeration order of V(P),
+// pruned by the symmetry-breaking partial order as in Section VI: if
+// u < u′ is a constraint, u must precede u′ in π. po may be nil.
+func ConnectedOrders(p *pattern.Pattern, po *pattern.PartialOrder) [][]pattern.Vertex {
+	n := p.NumVertices()
+	if po == nil {
+		po = &pattern.PartialOrder{}
+	}
+	// greaterMask[u] = vertices that must come after u.
+	var mustFollow [pattern.MaxVertices]uint32
+	for u := 0; u < n; u++ {
+		mustFollow[u] = po.Less[u]
+	}
+	var out [][]pattern.Vertex
+	order := make([]pattern.Vertex, 0, n)
+	var placed uint32
+	var rec func()
+	rec = func() {
+		if len(order) == n {
+			cp := make([]pattern.Vertex, n)
+			copy(cp, order)
+			out = append(out, cp)
+			return
+		}
+		for u := 0; u < n; u++ {
+			bit := uint32(1 << uint(u))
+			if placed&bit != 0 {
+				continue
+			}
+			// Connectivity: after the first vertex, u needs a placed neighbor.
+			if len(order) > 0 && p.NeighborMask(u)&placed == 0 {
+				continue
+			}
+			// Partial order: everything constrained to precede u is placed.
+			violates := false
+			for w := 0; w < n; w++ {
+				if mustFollow[w]&bit != 0 && placed&(1<<uint(w)) == 0 {
+					violates = true
+					break
+				}
+			}
+			if violates {
+				continue
+			}
+			order = append(order, u)
+			placed |= bit
+			rec()
+			order = order[:len(order)-1]
+			placed &^= bit
+		}
+	}
+	rec()
+	return out
+}
+
+// Choose compiles every candidate order and returns the plan with the
+// minimum Equation 8 cost. Ties are broken toward orders placing
+// partial-order-constrained vertices earlier, then lexicographically, so
+// Choose is deterministic. The partial order is computed from the
+// pattern's automorphisms when po is nil.
+func Choose(p *pattern.Pattern, po *pattern.PartialOrder, stats estimate.GraphStats, mode Mode) (*Plan, error) {
+	if po == nil {
+		po = pattern.SymmetryBreaking(p)
+	}
+	orders := ConnectedOrders(p, po)
+	if len(orders) == 0 {
+		return nil, fmt.Errorf("plan: pattern %s has no connected order (disconnected pattern?)", p.Name())
+	}
+	var best *Plan
+	var bestCost float64
+	var bestKey [2]int
+	for _, pi := range orders {
+		pl, err := Compile(p, po, pi, mode)
+		if err != nil {
+			return nil, err
+		}
+		cost := pl.Cost(stats)
+		key := tieKey(pl, po)
+		if best == nil || cost < bestCost || (cost == bestCost && lessKey(key, bestKey, pi, best.Pi)) {
+			best, bestCost, bestKey = pl, cost, key
+		}
+	}
+	return best, nil
+}
+
+// tieKey returns the secondary ranking for equal-cost orders:
+// (−laziness slack, sum of constrained-vertex positions). The slack is
+// Σ_u |Fπ(u)| — the estimator bounds |Φ_u| by |R(P[Aπ(u)])|, which is an
+// upper bound whose unseen savings grow with the free-vertex mass
+// (Equation 5), so lazier orders are preferred at equal estimated cost.
+// The position sum implements the paper's stated preference for placing
+// partial-order-constrained vertices early.
+func tieKey(pl *Plan, po *pattern.PartialOrder) [2]int {
+	slack := 0
+	for u := range pl.Free {
+		if u != pl.Pi[0] {
+			slack += popcount32(pl.Free[u])
+		}
+	}
+	constrained := uint32(0)
+	for u := range pl.Pi {
+		constrained |= po.Less[u]
+		if po.Less[u] != 0 {
+			constrained |= 1 << uint(u)
+		}
+	}
+	sum := 0
+	for pos, u := range pl.Pi {
+		if constrained&(1<<uint(u)) != 0 {
+			sum += pos
+		}
+	}
+	return [2]int{-slack, sum}
+}
+
+func lessKey(a, b [2]int, piA, piB []pattern.Vertex) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	for i := range piA {
+		if piA[i] != piB[i] {
+			return piA[i] < piB[i]
+		}
+	}
+	return false
+}
+
+func popcount32(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

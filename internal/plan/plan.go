@@ -1,0 +1,414 @@
+// Package plan compiles a pattern graph into an executable enumeration
+// plan: the enumeration order π (Section VI), the execution order σ of
+// COMP/MAT operations (Algorithm 2), and the minimum-set-cover operands
+// K1/K2 per pattern vertex (Algorithm 3). The enumeration engines in
+// internal/engine interpret the compiled plan.
+package plan
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"light/internal/estimate"
+	"light/internal/pattern"
+	"light/internal/setcover"
+)
+
+// OpMode distinguishes the two operations of the execution order σ.
+type OpMode uint8
+
+const (
+	// Comp computes the candidate set of a pattern vertex.
+	Comp OpMode = iota
+	// Mat materializes a pattern vertex: extends the partial result by
+	// mapping it to each candidate in turn.
+	Mat
+)
+
+// String returns COMP or MAT.
+func (m OpMode) String() string {
+	if m == Comp {
+		return "COMP"
+	}
+	return "MAT"
+}
+
+// Op is one σ entry: an operation applied to a pattern vertex.
+type Op struct {
+	Mode   OpMode
+	Vertex pattern.Vertex
+}
+
+// Operands are the inputs of one candidate-set computation (Equation 6):
+// C(u) = ∩_{w ∈ K1} N(φ(w)) ∩ ∩_{w ∈ K2} C(w).
+type Operands struct {
+	K1 []pattern.Vertex // materialized vertices contributing neighbor lists
+	K2 []pattern.Vertex // earlier vertices contributing candidate sets
+}
+
+// W returns w_u, the number of set intersections one computation costs
+// (Equation 7): |K1| + |K2| − 1, or 0 when there is at most one operand.
+func (o Operands) W() int {
+	w := len(o.K1) + len(o.K2) - 1
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// Constraint is a symmetry-breaking check applied when materializing a
+// vertex: the new mapping must relate to the mapping of Other as
+// indicated. Lower means φ(Other) must be below the new data vertex
+// (Other < u), i.e. the new vertex needs ids greater than φ(Other).
+type Constraint struct {
+	Other pattern.Vertex
+	Lower bool // true: require φ(Other) < v; false: require v < φ(Other)
+}
+
+// Plan is a compiled enumeration plan for one pattern. Immutable once
+// built; safe for concurrent use by many workers.
+type Plan struct {
+	Pattern *pattern.Pattern
+	PO      *pattern.PartialOrder
+
+	Pi    []pattern.Vertex // enumeration order π; Pi[0] is the root vertex
+	Sigma []Op             // execution order; Sigma[0] is always (MAT, Pi[0])
+
+	// Ops[u] holds the candidate computation operands for vertex u
+	// (unused for Pi[0], whose candidate set is V(G)).
+	Ops []Operands
+
+	// MatConstraints[i] lists the symmetry-breaking checks to apply at
+	// σ[i] when σ[i] is a MAT: each constraint references a vertex whose
+	// MAT precedes σ[i].
+	MatConstraints [][]Constraint
+
+	// PosInPi[u] is the position of u in π.
+	PosInPi []int
+
+	// Anchors[u] and Free[u] are the anchor/free vertex masks of u
+	// (Definition IV.1); meaningful for u ≠ Pi[0].
+	Anchors []uint32
+	Free    []uint32
+
+	// MatOrder is π′: the vertices in the order their MAT ops appear in σ.
+	MatOrder []pattern.Vertex
+}
+
+// Lazy reports whether the plan defers any materialization (i.e. σ is not
+// the strictly interleaved COMP/MAT sequence).
+func (pl *Plan) Lazy() bool {
+	for u, free := range pl.Free {
+		if u != pl.Pi[0] && free != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WTotal returns Σ_u w_u over all vertices, a static measure of per-path
+// intersection work.
+func (pl *Plan) WTotal() int {
+	total := 0
+	for u := range pl.Ops {
+		if u == pl.Pi[0] {
+			continue
+		}
+		total += pl.Ops[u].W()
+	}
+	return total
+}
+
+// String renders π, σ and the operands for debugging and logs.
+func (pl *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "π=%v σ=[", pl.Pi)
+	for i, op := range pl.Sigma {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%v(u%d)", op.Mode, op.Vertex)
+	}
+	sb.WriteString("] operands{")
+	for u := range pl.Ops {
+		if u == pl.Pi[0] {
+			continue
+		}
+		fmt.Fprintf(&sb, " u%d:K1=%v,K2=%v", u, pl.Ops[u].K1, pl.Ops[u].K2)
+	}
+	sb.WriteString(" }")
+	return sb.String()
+}
+
+// Mode selects which of the paper's optimizations a plan uses; the four
+// combinations of the first two fields are the four algorithms of
+// Section VIII-B1.
+type Mode struct {
+	LazyMaterialization bool // Algorithm 2's deferred σ (LM)
+	MinSetCover         bool // Algorithm 3's operands (MSC)
+	// GreedyCover swaps Algorithm 3's exact minimum set cover for the
+	// ln(n)-approximate greedy solver — an ablation of the paper's
+	// choice to pay O(4^n) for exactness.
+	GreedyCover bool
+}
+
+// Modes for the four evaluated algorithms.
+var (
+	ModeSE    = Mode{LazyMaterialization: false, MinSetCover: false}
+	ModeLM    = Mode{LazyMaterialization: true, MinSetCover: false}
+	ModeMSC   = Mode{LazyMaterialization: false, MinSetCover: true}
+	ModeLIGHT = Mode{LazyMaterialization: true, MinSetCover: true}
+)
+
+// Name returns SE, LM, MSC, or LIGHT (ignoring the cover-solver knob).
+func (m Mode) Name() string {
+	switch {
+	case !m.LazyMaterialization && !m.MinSetCover:
+		return "SE"
+	case m.LazyMaterialization && !m.MinSetCover:
+		return "LM"
+	case !m.LazyMaterialization && m.MinSetCover:
+		return "MSC"
+	}
+	return "LIGHT"
+}
+
+// backwardMask returns N+π(u) for the vertex at position pos in pi, as a
+// bitmask over pattern vertices.
+func backwardMask(p *pattern.Pattern, pi []pattern.Vertex, pos int) uint32 {
+	var before uint32
+	for i := 0; i < pos; i++ {
+		before |= 1 << uint(pi[i])
+	}
+	return p.NeighborMask(pi[pos]) & before
+}
+
+// IsConnectedOrder reports whether π is a connected enumeration order:
+// every vertex after the first has at least one backward neighbor.
+func IsConnectedOrder(p *pattern.Pattern, pi []pattern.Vertex) bool {
+	for pos := 1; pos < len(pi); pos++ {
+		if backwardMask(p, pi, pos) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// executionOrder is Algorithm 2's GenerateExecutionOrder: MAT every
+// still-unvisited backward neighbor of each vertex (in π order) before
+// its COMP, then MAT the leftovers in π order.
+func executionOrder(p *pattern.Pattern, pi []pattern.Vertex) []Op {
+	n := len(pi)
+	visited := make([]bool, p.NumVertices())
+	sigma := make([]Op, 0, 2*n-1)
+	for pos := 1; pos < n; pos++ {
+		u := pi[pos]
+		back := backwardMask(p, pi, pos)
+		for i := 0; i < pos; i++ {
+			w := pi[i]
+			if back&(1<<uint(w)) != 0 && !visited[w] {
+				visited[w] = true
+				sigma = append(sigma, Op{Mat, w})
+			}
+		}
+		sigma = append(sigma, Op{Comp, u})
+	}
+	for _, u := range pi {
+		if !visited[u] {
+			visited[u] = true
+			sigma = append(sigma, Op{Mat, u})
+		}
+	}
+	return sigma
+}
+
+// interleavedOrder is SE's implicit execution order: (MAT π[1]),
+// (COMP π[2]), (MAT π[2]), … — compute then immediately materialize.
+func interleavedOrder(pi []pattern.Vertex) []Op {
+	sigma := make([]Op, 0, 2*len(pi)-1)
+	sigma = append(sigma, Op{Mat, pi[0]})
+	for _, u := range pi[1:] {
+		sigma = append(sigma, Op{Comp, u}, Op{Mat, u})
+	}
+	return sigma
+}
+
+// operands computes K1/K2 per vertex. With useCover (Algorithm 3), the
+// universe N+(u) is covered by a minimum sub-collection of singletons and
+// reusable candidate sets N+(u′) ⊆ N+(u) of earlier vertices; otherwise
+// (SE semantics) K1 = N+(u) and K2 = ∅. greedy selects the approximate
+// solver instead of the exact one.
+func operands(p *pattern.Pattern, pi []pattern.Vertex, useCover, greedy bool) []Operands {
+	n := p.NumVertices()
+	ops := make([]Operands, n)
+	for pos := 1; pos < len(pi); pos++ {
+		u := pi[pos]
+		universe := backwardMask(p, pi, pos)
+		if !useCover {
+			ops[u] = Operands{K1: maskVertices(universe)}
+			continue
+		}
+		// Collection: reusable candidate sets first (so the exact solver's
+		// earliest-set tie-break prefers them), then singletons.
+		type entry struct {
+			mask uint32
+			k2   pattern.Vertex // -1 for singletons
+		}
+		var entries []entry
+		for j := 1; j < pos; j++ {
+			w := pi[j]
+			bw := backwardMask(p, pi, j)
+			if bw != 0 && bw&universe == bw {
+				entries = append(entries, entry{bw, w})
+			}
+		}
+		for m := universe; m != 0; m &= m - 1 {
+			w := pattern.Vertex(bits.TrailingZeros32(m))
+			entries = append(entries, entry{1 << uint(w), -1})
+		}
+		sets := make([]uint32, len(entries))
+		for i, e := range entries {
+			sets[i] = e.mask
+		}
+		solver := setcover.Exact
+		if greedy {
+			solver = setcover.Greedy
+		}
+		cover, ok := solver(universe, sets)
+		if !ok {
+			// Cannot happen: singletons always cover. Fall back to SE.
+			ops[u] = Operands{K1: maskVertices(universe)}
+			continue
+		}
+		var o Operands
+		for _, idx := range cover {
+			e := entries[idx]
+			if e.k2 >= 0 {
+				o.K2 = append(o.K2, e.k2)
+			} else {
+				o.K1 = append(o.K1, bits.TrailingZeros32(e.mask))
+			}
+		}
+		ops[u] = o
+	}
+	return ops
+}
+
+func maskVertices(m uint32) []pattern.Vertex {
+	if m == 0 {
+		return nil
+	}
+	out := make([]pattern.Vertex, 0, bits.OnesCount32(m))
+	for ; m != 0; m &= m - 1 {
+		out = append(out, bits.TrailingZeros32(m))
+	}
+	return out
+}
+
+// Compile builds the plan for pattern p with enumeration order pi,
+// symmetry-breaking order po, and the given mode. pi must be a connected
+// order; po may be nil for patterns with trivial automorphisms.
+func Compile(p *pattern.Pattern, po *pattern.PartialOrder, pi []pattern.Vertex, mode Mode) (*Plan, error) {
+	n := p.NumVertices()
+	if len(pi) != n {
+		return nil, fmt.Errorf("plan: order has %d vertices, pattern has %d", len(pi), n)
+	}
+	seen := uint32(0)
+	for _, u := range pi {
+		if u < 0 || u >= n || seen&(1<<uint(u)) != 0 {
+			return nil, fmt.Errorf("plan: order %v is not a permutation of V(P)", pi)
+		}
+		seen |= 1 << uint(u)
+	}
+	if n > 1 && !IsConnectedOrder(p, pi) {
+		return nil, fmt.Errorf("plan: order %v is not connected", pi)
+	}
+	if po == nil {
+		po = &pattern.PartialOrder{}
+	}
+
+	pl := &Plan{Pattern: p, PO: po, Pi: pi}
+	if mode.LazyMaterialization {
+		pl.Sigma = executionOrder(p, pi)
+	} else {
+		pl.Sigma = interleavedOrder(pi)
+	}
+	// Algorithm 2 appends (MAT, π[1]) inside the loop for π[2]'s backward
+	// neighbors; in both modes σ[0] must be (MAT, Pi[0]) because the
+	// engine's root loop performs it.
+	if pl.Sigma[0].Mode != Mat || pl.Sigma[0].Vertex != pi[0] {
+		return nil, fmt.Errorf("plan: internal error: σ[0] = %v, want MAT u%d", pl.Sigma[0], pi[0])
+	}
+	pl.Ops = operands(p, pi, mode.MinSetCover, mode.GreedyCover)
+
+	// Positions, anchors, free vertices, MAT order.
+	pl.PosInPi = make([]int, n)
+	for i, u := range pi {
+		pl.PosInPi[u] = i
+	}
+	matPos := make([]int, n)  // σ index of each vertex's MAT
+	compPos := make([]int, n) // σ index of each vertex's COMP (root: -1)
+	compPos[pi[0]] = -1
+	for i, op := range pl.Sigma {
+		if op.Mode == Mat {
+			matPos[op.Vertex] = i
+			pl.MatOrder = append(pl.MatOrder, op.Vertex)
+		} else {
+			compPos[op.Vertex] = i
+		}
+	}
+	pl.Anchors = make([]uint32, n)
+	pl.Free = make([]uint32, n)
+	for pos := 1; pos < n; pos++ {
+		u := pi[pos]
+		for i := 0; i < pos; i++ {
+			w := pi[i]
+			if matPos[w] < compPos[u] {
+				pl.Anchors[u] |= 1 << uint(w)
+			} else {
+				pl.Free[u] |= 1 << uint(w)
+			}
+		}
+	}
+
+	// Symmetry-breaking checks: each constrained pair (a < b) is checked
+	// at the later MAT of the two.
+	pl.MatConstraints = make([][]Constraint, len(pl.Sigma))
+	for a := 0; a < n; a++ {
+		for m := po.Less[a]; m != 0; m &= m - 1 {
+			b := pattern.Vertex(bits.TrailingZeros32(m))
+			// Constraint φ(a) < φ(b).
+			if matPos[a] < matPos[b] {
+				i := matPos[b]
+				pl.MatConstraints[i] = append(pl.MatConstraints[i], Constraint{Other: a, Lower: true})
+			} else {
+				i := matPos[a]
+				pl.MatConstraints[i] = append(pl.MatConstraints[i], Constraint{Other: b, Lower: false})
+			}
+		}
+	}
+	return pl, nil
+}
+
+// Cost evaluates Equation 8 for the plan on a graph described by stats:
+// T = α · Σ_u w_u · |R(P[Aπ(u)])|  +  Σ_i |R(P_i^{π′})|.
+func (pl *Plan) Cost(stats estimate.GraphStats) float64 {
+	alpha := stats.Alpha()
+	comp := 0.0
+	for pos := 1; pos < len(pl.Pi); pos++ {
+		u := pl.Pi[pos]
+		w := float64(pl.Ops[u].W())
+		if w == 0 {
+			continue
+		}
+		comp += w * stats.Subgraph(pl.Pattern, pl.Anchors[u])
+	}
+	mat := 0.0
+	var mask uint32
+	for _, u := range pl.MatOrder {
+		mask |= 1 << uint(u)
+		mat += stats.Subgraph(pl.Pattern, mask)
+	}
+	return alpha*comp + mat
+}

@@ -1,0 +1,425 @@
+package plan
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"light/internal/estimate"
+	"light/internal/gen"
+	"light/internal/pattern"
+)
+
+// paperPi is the running example's enumeration order (u0, u2, u1, u3).
+var paperPi = []pattern.Vertex{0, 2, 1, 3}
+
+func TestExecutionOrderPaperExample(t *testing.T) {
+	// Example IV.1: σ = (MAT u0, COMP u2, MAT u2, COMP u1, COMP u3,
+	// MAT u1, MAT u3) for P2 with π = (u0, u2, u1, u3).
+	p := pattern.P2()
+	pl, err := Compile(p, &pattern.PartialOrder{}, paperPi, ModeLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{Mat, 0}, {Comp, 2}, {Mat, 2}, {Comp, 1}, {Comp, 3}, {Mat, 1}, {Mat, 3},
+	}
+	if !reflect.DeepEqual(pl.Sigma, want) {
+		t.Fatalf("σ = %v, want %v", pl.Sigma, want)
+	}
+	if !pl.Lazy() {
+		t.Error("LM plan should be lazy")
+	}
+}
+
+func TestInterleavedOrder(t *testing.T) {
+	p := pattern.P2()
+	pl, err := Compile(p, &pattern.PartialOrder{}, paperPi, ModeSE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{Mat, 0}, {Comp, 2}, {Mat, 2}, {Comp, 1}, {Mat, 1}, {Comp, 3}, {Mat, 3},
+	}
+	if !reflect.DeepEqual(pl.Sigma, want) {
+		t.Fatalf("σ = %v, want %v", pl.Sigma, want)
+	}
+	if pl.Lazy() {
+		t.Error("SE plan should not be lazy")
+	}
+}
+
+func TestAnchorsAndFree(t *testing.T) {
+	// Example IV.2: for u3 (fourth in π), A = {u0, u2}, F = {u1}.
+	p := pattern.P2()
+	pl, err := Compile(p, &pattern.PartialOrder{}, paperPi, ModeLM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Anchors[3] != 0b0101 {
+		t.Errorf("Anchors(u3) = %04b, want 0101", pl.Anchors[3])
+	}
+	if pl.Free[3] != 0b0010 {
+		t.Errorf("Free(u3) = %04b, want 0010", pl.Free[3])
+	}
+	// For u1 (third in π), anchors are {u0, u2} and free is empty.
+	if pl.Anchors[1] != 0b0101 || pl.Free[1] != 0 {
+		t.Errorf("u1: anchors=%04b free=%04b", pl.Anchors[1], pl.Free[1])
+	}
+}
+
+func TestOperandsMSCPaperExample(t *testing.T) {
+	// Example V.1: for u3, U = {u0,u2}, and the min cover is N+(u1) =
+	// {u0,u2}, so K1 = ∅ and K2 = {u1}.
+	p := pattern.P2()
+	pl, err := Compile(p, &pattern.PartialOrder{}, paperPi, ModeLIGHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o3 := pl.Ops[3]
+	if len(o3.K1) != 0 || !reflect.DeepEqual(o3.K2, []pattern.Vertex{1}) {
+		t.Fatalf("operands(u3) = %+v, want K1=∅ K2=[1]", o3)
+	}
+	if o3.W() != 0 {
+		t.Errorf("w(u3) = %d, want 0", o3.W())
+	}
+	// u1: U = {u0,u2}; no reusable set strictly earlier covers it (u2's
+	// backward set is {u0}, a subset but smaller) — cover must be either
+	// the two singletons or {u0 singleton is covered by N+(u2)={u0}}…
+	// minimal size is 2 either way, so w(u1) = 1.
+	if got := pl.Ops[1].W(); got != 1 {
+		t.Errorf("w(u1) = %d, want 1", got)
+	}
+	// SE mode: w(u1) = w(u3) = |N+|-1 = 1 each.
+	se, _ := Compile(p, &pattern.PartialOrder{}, paperPi, ModeSE)
+	if se.Ops[3].W() != 1 || se.Ops[1].W() != 1 {
+		t.Errorf("SE w = %d,%d, want 1,1", se.Ops[1].W(), se.Ops[3].W())
+	}
+	// Proposition V.1: w_MSC ≤ w_SE for every vertex.
+	for u := 0; u < p.NumVertices(); u++ {
+		if pl.Ops[u].W() > se.Ops[u].W() {
+			t.Errorf("Proposition V.1 violated at u%d: %d > %d", u, pl.Ops[u].W(), se.Ops[u].W())
+		}
+	}
+}
+
+func TestPropositionV1AllCatalog(t *testing.T) {
+	for _, p := range pattern.Catalog() {
+		po := pattern.SymmetryBreaking(p)
+		for _, pi := range ConnectedOrders(p, po) {
+			msc, err := Compile(p, po, pi, ModeMSC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			se, err := Compile(p, po, pi, ModeSE)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := 0; u < p.NumVertices(); u++ {
+				if msc.Ops[u].W() > se.Ops[u].W() {
+					t.Fatalf("%s π=%v u%d: w_MSC %d > w_SE %d", p.Name(), pi, u, msc.Ops[u].W(), se.Ops[u].W())
+				}
+			}
+		}
+	}
+}
+
+func TestSigmaWellFormed(t *testing.T) {
+	// For every catalog pattern, order and mode: σ contains each vertex's
+	// MAT exactly once, each non-root COMP exactly once, every backward
+	// neighbor's MAT precedes the COMP, every K1 vertex's MAT precedes
+	// the COMP, and every K2 vertex's COMP precedes the COMP.
+	for _, p := range pattern.Catalog() {
+		po := pattern.SymmetryBreaking(p)
+		for _, mode := range []Mode{ModeSE, ModeLM, ModeMSC, ModeLIGHT} {
+			for _, pi := range ConnectedOrders(p, po) {
+				pl, err := Compile(p, po, pi, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := p.NumVertices()
+				if len(pl.Sigma) != 2*n-1 {
+					t.Fatalf("%s %s: |σ| = %d, want %d", p.Name(), mode.Name(), len(pl.Sigma), 2*n-1)
+				}
+				matPos := make([]int, n)
+				compPos := make([]int, n)
+				for i := range matPos {
+					matPos[i], compPos[i] = -1, -1
+				}
+				for i, op := range pl.Sigma {
+					if op.Mode == Mat {
+						if matPos[op.Vertex] != -1 {
+							t.Fatalf("duplicate MAT u%d", op.Vertex)
+						}
+						matPos[op.Vertex] = i
+					} else {
+						if compPos[op.Vertex] != -1 {
+							t.Fatalf("duplicate COMP u%d", op.Vertex)
+						}
+						compPos[op.Vertex] = i
+					}
+				}
+				for u := 0; u < n; u++ {
+					if matPos[u] == -1 {
+						t.Fatalf("missing MAT u%d", u)
+					}
+					if u != pi[0] && compPos[u] == -1 {
+						t.Fatalf("missing COMP u%d", u)
+					}
+					if u == pi[0] {
+						continue
+					}
+					for _, w := range pl.Ops[u].K1 {
+						if matPos[w] > compPos[u] {
+							t.Fatalf("%s %s π=%v: K1 vertex u%d not materialized before COMP u%d", p.Name(), mode.Name(), pi, w, u)
+						}
+					}
+					for _, w := range pl.Ops[u].K2 {
+						if compPos[w] > compPos[u] {
+							t.Fatalf("%s %s π=%v: K2 vertex u%d not computed before COMP u%d", p.Name(), mode.Name(), pi, w, u)
+						}
+					}
+					// Operand union must equal the backward neighborhood:
+					// ∩K1 neighbor lists ∩ K2 candidate sets ≡ ∩ N+(u).
+					var covered uint32
+					for _, w := range pl.Ops[u].K1 {
+						covered |= 1 << uint(w)
+					}
+					for _, w := range pl.Ops[u].K2 {
+						covered |= backwardOf(p, pi, w)
+					}
+					if covered != backwardOf(p, pi, u) {
+						t.Fatalf("%s %s π=%v u%d: operands cover %b, want %b", p.Name(), mode.Name(), pi, u, covered, backwardOf(p, pi, u))
+					}
+				}
+			}
+		}
+	}
+}
+
+// backwardOf recomputes N+π(u) independently of the plan internals.
+func backwardOf(p *pattern.Pattern, pi []pattern.Vertex, u pattern.Vertex) uint32 {
+	var before uint32
+	for _, w := range pi {
+		if w == u {
+			break
+		}
+		before |= 1 << uint(w)
+	}
+	return p.NeighborMask(u) & before
+}
+
+func TestMatConstraintsCoverAllPairs(t *testing.T) {
+	for _, p := range pattern.Catalog() {
+		po := pattern.SymmetryBreaking(p)
+		pi := ConnectedOrders(p, po)[0]
+		for _, mode := range []Mode{ModeSE, ModeLIGHT} {
+			pl, err := Compile(p, po, pi, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 0
+			for _, cs := range pl.MatConstraints {
+				total += len(cs)
+			}
+			if want := len(po.Pairs()); total != want {
+				t.Fatalf("%s %s: %d constraint checks, want %d", p.Name(), mode.Name(), total, want)
+			}
+		}
+	}
+}
+
+func TestCompileRejectsBadOrders(t *testing.T) {
+	p := pattern.P2()
+	if _, err := Compile(p, nil, []pattern.Vertex{0, 1}, ModeSE); err == nil {
+		t.Error("accepted short order")
+	}
+	if _, err := Compile(p, nil, []pattern.Vertex{0, 0, 1, 2}, ModeSE); err == nil {
+		t.Error("accepted non-permutation")
+	}
+	if _, err := Compile(p, nil, []pattern.Vertex{1, 3, 0, 2}, ModeSE); err == nil {
+		t.Error("accepted disconnected order (1 and 3 are not adjacent)")
+	}
+}
+
+func TestConnectedOrdersCounts(t *testing.T) {
+	// Triangle with no partial order: all 3! = 6 permutations are
+	// connected.
+	if got := len(ConnectedOrders(pattern.Triangle(), nil)); got != 6 {
+		t.Errorf("triangle orders = %d, want 6", got)
+	}
+	// With symmetry breaking (u0<u1<u2) only one order remains.
+	po := pattern.SymmetryBreaking(pattern.Triangle())
+	if got := len(ConnectedOrders(pattern.Triangle(), po)); got != 1 {
+		t.Errorf("triangle constrained orders = %d, want 1", got)
+	}
+	// Path 0-1-2: connected orders are 012, 102, 120, 210 = 4.
+	if got := len(ConnectedOrders(pattern.Path(3), nil)); got != 4 {
+		t.Errorf("path3 orders = %d, want 4", got)
+	}
+}
+
+func TestChooseDeterministicAndValid(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 4, 3)
+	stats := estimate.Collect(g)
+	for _, p := range pattern.Catalog() {
+		pl1, err := Choose(p, nil, stats, ModeLIGHT)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		pl2, err := Choose(p, nil, stats, ModeLIGHT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(pl1.Pi, pl2.Pi) {
+			t.Fatalf("%s: Choose not deterministic: %v vs %v", p.Name(), pl1.Pi, pl2.Pi)
+		}
+		if !IsConnectedOrder(p, pl1.Pi) {
+			t.Fatalf("%s: chosen order not connected", p.Name())
+		}
+	}
+}
+
+func TestChooseRespectsPartialOrderPositions(t *testing.T) {
+	// Symmetry-breaking pairs must appear in π respecting u before v.
+	g := gen.BarabasiAlbert(300, 4, 5)
+	stats := estimate.Collect(g)
+	for _, p := range pattern.Catalog() {
+		po := pattern.SymmetryBreaking(p)
+		pl, err := Choose(p, po, stats, ModeLIGHT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pr := range po.Pairs() {
+			if pl.PosInPi[pr[0]] > pl.PosInPi[pr[1]] {
+				t.Fatalf("%s: constraint u%d<u%d violated by π=%v", p.Name(), pr[0], pr[1], pl.Pi)
+			}
+		}
+	}
+}
+
+func TestCostPositiveAndComparable(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 5, 9)
+	stats := estimate.Collect(g)
+	p := pattern.P2()
+	po := pattern.SymmetryBreaking(p)
+	pi := ConnectedOrders(p, po)[0]
+	light, _ := Compile(p, po, pi, ModeLIGHT)
+	se, _ := Compile(p, po, pi, ModeSE)
+	cl, cs := light.Cost(stats), se.Cost(stats)
+	if cl <= 0 || cs <= 0 {
+		t.Fatalf("costs must be positive: light=%g se=%g", cl, cs)
+	}
+	if cl > cs {
+		t.Fatalf("LIGHT cost %g should not exceed SE cost %g on the same order", cl, cs)
+	}
+}
+
+func TestGreedyCoverStillCoversAndNeverBeatsExact(t *testing.T) {
+	for _, p := range pattern.Catalog() {
+		po := pattern.SymmetryBreaking(p)
+		for _, pi := range ConnectedOrders(p, po) {
+			exact, err := Compile(p, po, pi, ModeLIGHT)
+			if err != nil {
+				t.Fatal(err)
+			}
+			greedy, err := Compile(p, po, pi, Mode{LazyMaterialization: true, MinSetCover: true, GreedyCover: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := 0; u < p.NumVertices(); u++ {
+				if u == pi[0] {
+					continue
+				}
+				// Greedy still covers N+(u)...
+				var covered uint32
+				for _, w := range greedy.Ops[u].K1 {
+					covered |= 1 << uint(w)
+				}
+				for _, w := range greedy.Ops[u].K2 {
+					covered |= backwardOf(p, pi, w)
+				}
+				if covered != backwardOf(p, pi, u) {
+					t.Fatalf("%s π=%v u%d: greedy cover incomplete", p.Name(), pi, u)
+				}
+				// ...and exact never costs more intersections.
+				if exact.Ops[u].W() > greedy.Ops[u].W() {
+					t.Fatalf("%s π=%v u%d: exact w %d > greedy w %d", p.Name(), pi, u, exact.Ops[u].W(), greedy.Ops[u].W())
+				}
+			}
+		}
+	}
+}
+
+func TestModeNames(t *testing.T) {
+	if ModeSE.Name() != "SE" || ModeLM.Name() != "LM" || ModeMSC.Name() != "MSC" || ModeLIGHT.Name() != "LIGHT" {
+		t.Fatal("mode names wrong")
+	}
+	if Comp.String() != "COMP" || Mat.String() != "MAT" {
+		t.Fatal("op mode names wrong")
+	}
+}
+
+func TestStringAndWTotal(t *testing.T) {
+	p := pattern.P2()
+	po := pattern.SymmetryBreaking(p)
+	light, err := Compile(p, po, paperPi, ModeLIGHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := Compile(p, po, paperPi, ModeSE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LIGHT's per-path intersection budget on the running example: 1
+	// (COMP u1 does one, u2 and u3 are free). SE does 2 (u1, u3).
+	if light.WTotal() != 1 || se.WTotal() != 2 {
+		t.Fatalf("WTotal: light=%d se=%d, want 1,2", light.WTotal(), se.WTotal())
+	}
+	s := light.String()
+	if s == "" || len(s) < 20 {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestSingleVertexPattern(t *testing.T) {
+	p := pattern.MustNew("v", 1, nil)
+	pl, err := Compile(p, nil, []pattern.Vertex{0}, ModeLIGHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Sigma) != 1 || pl.Sigma[0].Mode != Mat {
+		t.Fatalf("σ = %v", pl.Sigma)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 1)
+	stats := estimate.Collect(g)
+	p := pattern.P2()
+	po := pattern.SymmetryBreaking(p)
+	pl, err := Compile(p, po, paperPi, ModeLIGHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := pl.Explain(stats)
+	for _, want := range []string{"enumeration order", "COMP", "MAT", "aliased", "Eq. 8", "u0<u2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// A pattern with no symmetry must say so.
+	paw := pattern.MustNew("asympaw", 4, [][2]pattern.Vertex{{0, 1}, {1, 2}, {2, 3}, {1, 3}})
+	_ = paw // paw has one swap; build truly asymmetric 5-vertex pattern
+	asym := pattern.MustNew("asym", 5, [][2]pattern.Vertex{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {1, 3}, {0, 2}})
+	if len(asym.Automorphisms()) == 1 {
+		apo := pattern.SymmetryBreaking(asym)
+		apl, err := Compile(asym, apo, ConnectedOrders(asym, apo)[0], ModeLIGHT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(apl.Explain(stats), "trivial automorphism") {
+			t.Fatal("Explain should note trivial groups")
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package light
+
+import (
+	"errors"
+	"time"
+
+	"light/internal/engine"
+	"light/internal/graph"
+	"light/internal/labeled"
+)
+
+// Label is a vertex label for labeled subgraph matching.
+type Label = uint16
+
+// LabeledGraph is a data graph whose vertices carry labels, with the
+// candidate-filtering indexes (label classes and neighborhood label
+// frequencies) built at construction.
+type LabeledGraph struct {
+	lg *labeled.Graph
+}
+
+// WithLabels attaches labels to a graph: labels[v] is the label of
+// vertex v in g's (degree-ordered) numbering.
+func WithLabels(g *Graph, labels []Label) (*LabeledGraph, error) {
+	lg, err := labeled.NewGraph(g.g, labels)
+	if err != nil {
+		return nil, err
+	}
+	return &LabeledGraph{lg: lg}, nil
+}
+
+// Label returns the label of data vertex v.
+func (g *LabeledGraph) Label(v VertexID) Label { return g.lg.Labels[v] }
+
+// LabeledPattern is a pattern whose vertices carry labels.
+type LabeledPattern struct {
+	lp *labeled.Pattern
+}
+
+// WithPatternLabels attaches labels to a pattern's vertices.
+func WithPatternLabels(p *Pattern, labels []Label) (*LabeledPattern, error) {
+	lp, err := labeled.NewPattern(p.p, labels)
+	if err != nil {
+		return nil, err
+	}
+	return &LabeledPattern{lp: lp}, nil
+}
+
+// CountLabeled returns the number of label-preserving matches: subgraphs
+// of g isomorphic to p where every matched vertex carries the pattern
+// vertex's label. Deduplication uses the label-preserving automorphisms
+// only, so differently-labeled placements of a symmetric pattern are
+// counted separately, as they should be.
+func CountLabeled(g *LabeledGraph, p *LabeledPattern, opts Options) (Result, error) {
+	return runLabeled(g, p, opts, nil)
+}
+
+// EnumerateLabeled streams every label-preserving match to visit (same
+// contract as Enumerate).
+func EnumerateLabeled(g *LabeledGraph, p *LabeledPattern, opts Options, visit func(mapping []VertexID) bool) (Result, error) {
+	if visit == nil {
+		return Result{}, errors.New("light: EnumerateLabeled requires a visitor; use CountLabeled")
+	}
+	return runLabeled(g, p, opts, visit)
+}
+
+func runLabeled(g *LabeledGraph, p *LabeledPattern, opts Options, visit func(mapping []VertexID) bool) (Result, error) {
+	lopts := labeled.Options{
+		Engine: engine.Options{
+			Kernel:    opts.Intersection.kind(),
+			TimeLimit: opts.TimeLimit,
+		},
+		Workers: opts.Workers,
+		Mode:    opts.Algorithm.mode(),
+	}
+	var ev engine.VisitFunc
+	if visit != nil {
+		ev = func(m []graph.VertexID) bool { return visit(m) }
+	}
+	start := time.Now()
+	var er engine.Result
+	var err error
+	if visit != nil {
+		er, err = labeled.Enumerate(g.lg, p.lp, lopts, ev)
+	} else {
+		er, err = labeled.Count(g.lg, p.lp, lopts)
+	}
+	var res Result
+	res = fill(res, er, time.Since(start))
+	return res, mapErr(err)
+}
+
+// ApproxCount estimates the match count from random path-sampling
+// probes instead of exhaustive enumeration — useful when the exact
+// count is astronomically large and a ±few-percent answer suffices.
+// The estimate is unbiased; variance shrinks with the number of
+// samples. Hits reports how many probes completed (very small values
+// mean the estimate is unreliable). Deterministic for a given seed.
+func ApproxCount(g *Graph, p *Pattern, samples int, seed int64) (estimateValue float64, hits int, err error) {
+	res, err := approxCount(g, p, samples, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Estimate, res.Hits, nil
+}

@@ -1,0 +1,105 @@
+package light
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLabeledAPI(t *testing.T) {
+	// A 4-cycle alternating labels A-B-A-B: exactly one A-B-A path3 per
+	// A vertex as the middle? Use explicit tiny case: count A-B edges.
+	g := NewGraph(4, [][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	lg, err := WithLabels(g, []Label{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, _ := PatternByName("path2")
+	lp, err := WithPatternLabels(edge, []Label{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CountLabeled(lg, lp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four cycle edges connect an A to a B.
+	if res.Matches != 4 {
+		t.Fatalf("A-B edges = %d, want 4", res.Matches)
+	}
+	if lg.Label(0) != 0 {
+		t.Fatal("Label accessor broken")
+	}
+}
+
+func TestLabeledAPIValidation(t *testing.T) {
+	g := GenerateComplete(3)
+	if _, err := WithLabels(g, []Label{0}); err == nil {
+		t.Fatal("short labels accepted")
+	}
+	tri, _ := PatternByName("triangle")
+	if _, err := WithPatternLabels(tri, []Label{0}); err == nil {
+		t.Fatal("short pattern labels accepted")
+	}
+	lg, _ := WithLabels(g, []Label{0, 0, 0})
+	lp, _ := WithPatternLabels(tri, []Label{0, 0, 0})
+	if _, err := EnumerateLabeled(lg, lp, Options{}, nil); err == nil {
+		t.Fatal("nil visitor accepted")
+	}
+}
+
+func TestLabeledEnumerateAndParallelAgree(t *testing.T) {
+	g := GenerateBarabasiAlbert(300, 4, 8)
+	labels := make([]Label, g.NumVertices())
+	for v := range labels {
+		labels[v] = Label(v % 3)
+	}
+	lg, err := WithLabels(g, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, _ := PatternByName("triangle")
+	lp, err := WithPatternLabels(tri, []Label{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := CountLabeled(lg, lp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CountLabeled(lg, lp, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Matches != par.Matches {
+		t.Fatalf("parallel %d != sequential %d", par.Matches, seq.Matches)
+	}
+	visited := uint64(0)
+	_, err = EnumerateLabeled(lg, lp, Options{}, func(m []VertexID) bool {
+		if lg.Label(m[0]) != 0 || lg.Label(m[1]) != 1 || lg.Label(m[2]) != 2 {
+			t.Errorf("labels violated: %v", m)
+		}
+		visited++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != seq.Matches {
+		t.Fatalf("visited %d, counted %d", visited, seq.Matches)
+	}
+}
+
+func TestApproxCountAPI(t *testing.T) {
+	g := GenerateComplete(12)
+	tri, _ := PatternByName("triangle")
+	est, hits, err := ApproxCount(g, tri, 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits == 0 {
+		t.Fatal("no hits on a complete graph")
+	}
+	if math.Abs(est-220)/220 > 0.1 {
+		t.Fatalf("estimate %.1f, want ≈220", est)
+	}
+}

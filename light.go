@@ -1,0 +1,403 @@
+// Package light is a parallel subgraph enumeration library for a single
+// machine, reproducing the LIGHT algorithm of Sun, Che, Wang and Luo,
+// "Efficient Parallel Subgraph Enumeration on a Single Machine"
+// (ICDE 2019).
+//
+// Given an unlabeled pattern graph P and an unlabeled data graph G, the
+// library finds every subgraph of G isomorphic to P. Internally it
+// combines lazy materialization, minimum-set-cover candidate
+// computation, a cost-based enumeration order optimizer, hybrid sorted
+// set intersection, and work-stealing parallel DFS. The baseline
+// algorithms the paper evaluates (SE, LM, MSC, and the distributed
+// BFS-join systems) are available through the same API for comparison.
+//
+// Quick start:
+//
+//	g, err := light.LoadEdgeList("graph.txt")
+//	p, err := light.PatternByName("triangle")
+//	res, err := light.Count(g, p, light.Options{})
+//	fmt.Println(res.Matches)
+package light
+
+import (
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"light/internal/engine"
+	"light/internal/estimate"
+	"light/internal/graph"
+	"light/internal/intersect"
+	"light/internal/parallel"
+	"light/internal/pattern"
+	"light/internal/plan"
+)
+
+// ErrTimeLimit is returned when Options.TimeLimit elapses mid-run.
+var ErrTimeLimit = errors.New("light: time limit exceeded")
+
+// VertexID identifies a data vertex (a 32-bit unsigned integer, as in
+// the paper).
+type VertexID = uint32
+
+// Graph is an immutable unlabeled undirected data graph in CSR form,
+// relabeled into degree order (the paper's ordered graph). Construction
+// retains the relabeling, so vertex ids from the caller's original
+// numbering can be translated with MapVertex.
+type Graph struct {
+	g        *graph.Graph
+	oldToNew []graph.VertexID // nil when the original numbering is unknown
+}
+
+// NumVertices returns |V(G)|.
+func (g *Graph) NumVertices() int { return g.g.NumVertices() }
+
+// NumEdges returns |E(G)|.
+func (g *Graph) NumEdges() int64 { return g.g.NumEdges() }
+
+// MaxDegree returns the maximum vertex degree.
+func (g *Graph) MaxDegree() int { return g.g.MaxDegree() }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v VertexID) int { return g.g.Degree(v) }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice
+// must not be modified.
+func (g *Graph) Neighbors(v VertexID) []VertexID { return g.g.Neighbors(v) }
+
+// HasEdge reports whether the edge (u, v) exists.
+func (g *Graph) HasEdge(u, v VertexID) bool { return g.g.HasEdge(u, v) }
+
+// MemoryBytes returns the CSR memory footprint.
+func (g *Graph) MemoryBytes() int64 { return g.g.MemoryBytes() }
+
+// String summarizes the graph.
+func (g *Graph) String() string { return g.g.String() }
+
+// NewGraph builds a data graph from an edge list over n vertices
+// (vertices beyond n grow the graph). Duplicate edges and self-loops are
+// dropped. The result is relabeled into degree order, so vertex IDs in
+// results refer to the relabeled graph.
+func NewGraph(n int, edges [][2]VertexID) *Graph {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, mapping := graph.ReorderWithMapping(b.Build())
+	return &Graph{g: g, oldToNew: mapping}
+}
+
+// MapVertex translates a vertex id from the numbering the graph was
+// constructed with (NewGraph edge list, edge-list file) into the
+// degree-ordered id used in results. It is the identity for graphs whose
+// original numbering is unknown (LoadCSR).
+func (g *Graph) MapVertex(original VertexID) VertexID {
+	if g.oldToNew == nil {
+		return original
+	}
+	return g.oldToNew[original]
+}
+
+// LoadEdgeList reads a whitespace-separated "u v" edge-list file ('#'
+// and '%' comment lines allowed) and relabels it into degree order.
+func LoadEdgeList(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	g, err := ReadEdgeList(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// ReadEdgeList is LoadEdgeList over an io.Reader.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	g, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	og, mapping := graph.ReorderWithMapping(g)
+	return &Graph{g: og, oldToNew: mapping}, nil
+}
+
+// SaveCSR writes the graph to path in a compact binary CSR format that
+// LoadCSR reads back without re-parsing or re-sorting — the right format
+// for graphs that are queried repeatedly.
+func (g *Graph) SaveCSR(path string) error { return g.g.SaveCSR(path) }
+
+// LoadCSR reads a graph written by SaveCSR. Graphs written by this
+// package are already degree-ordered; foreign CSR files are reordered on
+// load to restore the invariant the symmetry-breaking machinery needs.
+func LoadCSR(path string) (*Graph, error) {
+	gg, err := graph.LoadCSR(path)
+	if err != nil {
+		return nil, err
+	}
+	if !gg.IsOrdered() {
+		gg = graph.Reorder(gg)
+	}
+	return &Graph{g: gg}, nil
+}
+
+// Pattern is an immutable unlabeled connected pattern graph (n ≤ 16).
+type Pattern struct {
+	p *pattern.Pattern
+}
+
+// NewPattern builds a pattern over n vertices (0..n-1) from an edge
+// list. The pattern must be connected.
+func NewPattern(name string, n int, edges [][2]int) (*Pattern, error) {
+	es := make([][2]pattern.Vertex, len(edges))
+	for i, e := range edges {
+		es[i] = [2]pattern.Vertex{e[0], e[1]}
+	}
+	p, err := pattern.New(name, n, es)
+	if err != nil {
+		return nil, err
+	}
+	if !p.IsConnected() {
+		return nil, fmt.Errorf("light: pattern %s is disconnected", name)
+	}
+	return &Pattern{p: p}, nil
+}
+
+// PatternByName returns a named pattern: the paper's evaluation catalog
+// "P1".."P7", or "triangle", "square", "cycleK", "pathK", "cliqueK",
+// "starK" for small K (e.g. "clique4").
+func PatternByName(name string) (*Pattern, error) {
+	p, err := pattern.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Pattern{p: p}, nil
+}
+
+// CatalogNames lists the paper's evaluation patterns in order.
+func CatalogNames() []string {
+	return []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7"}
+}
+
+// Name returns the pattern's name.
+func (p *Pattern) Name() string { return p.p.Name() }
+
+// NumVertices returns |V(P)|.
+func (p *Pattern) NumVertices() int { return p.p.NumVertices() }
+
+// NumEdges returns |E(P)|.
+func (p *Pattern) NumEdges() int { return p.p.NumEdges() }
+
+// String renders the pattern.
+func (p *Pattern) String() string { return p.p.String() }
+
+// Algorithm selects the enumeration algorithm (the paper's Section
+// VIII-B1 ablation ladder).
+type Algorithm int
+
+const (
+	// LIGHT uses both lazy materialization and minimum-set-cover
+	// candidate computation (the paper's contribution; the default).
+	LIGHT Algorithm = iota
+	// SE is the baseline DFS enumerator (Algorithm 1).
+	SE
+	// LM is SE plus lazy materialization only.
+	LM
+	// MSC is SE plus minimum-set-cover candidate computation only.
+	MSC
+)
+
+// String returns the algorithm name used in the paper.
+func (a Algorithm) String() string { return a.mode().Name() }
+
+func (a Algorithm) mode() plan.Mode {
+	switch a {
+	case SE:
+		return plan.ModeSE
+	case LM:
+		return plan.ModeLM
+	case MSC:
+		return plan.ModeMSC
+	}
+	return plan.ModeLIGHT
+}
+
+// Intersection selects the sorted-set intersection kernel (Section
+// VII-A). The Block variants stand in for the paper's AVX2 kernels.
+type Intersection int
+
+const (
+	// HybridBlock is Algorithm 4 with the block-skipping merge — the
+	// paper's production configuration (HybridAVX2) and the default.
+	HybridBlock Intersection = iota
+	// Merge is the scalar two-pointer merge.
+	Merge
+	// MergeBlock is the block-skipping merge (MergeAVX2 stand-in).
+	MergeBlock
+	// Galloping always uses exponential search.
+	Galloping
+	// Hybrid is Algorithm 4 with the scalar merge.
+	Hybrid
+)
+
+// String returns the kernel name used in the paper's figures.
+func (i Intersection) String() string { return i.kind().String() }
+
+func (i Intersection) kind() intersect.Kind {
+	switch i {
+	case Merge:
+		return intersect.KindMerge
+	case MergeBlock:
+		return intersect.KindMergeBlock
+	case Galloping:
+		return intersect.KindGalloping
+	case Hybrid:
+		return intersect.KindHybrid
+	}
+	return intersect.KindHybridBlock
+}
+
+// Options configure Count and Enumerate. The zero value runs LIGHT with
+// the HybridBlock kernel on one worker.
+type Options struct {
+	// Algorithm defaults to LIGHT.
+	Algorithm Algorithm
+	// Intersection defaults to HybridBlock.
+	Intersection Intersection
+	// Workers > 1 enables the work-stealing parallel DFS (Section
+	// VII-B). 0 or 1 runs sequentially.
+	Workers int
+	// TimeLimit aborts the run with ErrTimeLimit when positive.
+	TimeLimit time.Duration
+	// TailCount enables the final-vertex counting shortcut for
+	// count-only runs (an extension beyond the paper; see DESIGN.md).
+	TailCount bool
+	// Order overrides the cost-based enumeration order with an explicit
+	// permutation of pattern vertices (advanced; must be connected).
+	Order []int
+}
+
+// Result reports an enumeration.
+type Result struct {
+	// Matches is the number of subgraphs of G isomorphic to P.
+	Matches uint64
+	// Intersections is the number of pairwise set intersections
+	// performed (the paper's Fig 5 metric).
+	Intersections uint64
+	// GallopingPercent is the share of intersections that took the
+	// galloping path (Table III).
+	GallopingPercent float64
+	// Nodes is the number of search-tree nodes expanded.
+	Nodes uint64
+	// Duration is the wall-clock enumeration time.
+	Duration time.Duration
+	// Order is the enumeration order chosen by the optimizer.
+	Order []int
+	// CandidateMemoryBytes is the candidate-set buffer memory across all
+	// workers (Table V).
+	CandidateMemoryBytes int64
+	// Stopped reports that the visitor ended the run early.
+	Stopped bool
+}
+
+// preparePlan compiles the pattern under the options.
+func preparePlan(g *Graph, p *Pattern, opts Options) (*plan.Plan, error) {
+	po := pattern.SymmetryBreaking(p.p)
+	if opts.Order != nil {
+		pi := make([]pattern.Vertex, len(opts.Order))
+		for i, u := range opts.Order {
+			pi[i] = u
+		}
+		return plan.Compile(p.p, po, pi, opts.Algorithm.mode())
+	}
+	stats := estimate.Collect(g.g)
+	return plan.Choose(p.p, po, stats, opts.Algorithm.mode())
+}
+
+// Count returns the number of subgraphs of g isomorphic to p.
+func Count(g *Graph, p *Pattern, opts Options) (Result, error) {
+	return run(g, p, opts, nil)
+}
+
+// Enumerate calls visit for every subgraph of g isomorphic to p;
+// visit(m) receives the data vertex m[u] matched to each pattern vertex
+// u. The slice is reused — copy it to retain. Returning false stops the
+// enumeration. With Workers > 1, visit is serialized by a mutex but may
+// be called from different goroutines.
+func Enumerate(g *Graph, p *Pattern, opts Options, visit func(mapping []VertexID) bool) (Result, error) {
+	if visit == nil {
+		return Result{}, errors.New("light: Enumerate requires a visitor; use Count")
+	}
+	return run(g, p, opts, visit)
+}
+
+func run(g *Graph, p *Pattern, opts Options, visit engine.VisitFunc) (Result, error) {
+	pl, err := preparePlan(g, p, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	eopts := engine.Options{
+		Kernel:    opts.Intersection.kind(),
+		TimeLimit: opts.TimeLimit,
+		TailCount: opts.TailCount,
+	}
+	start := time.Now()
+	var res Result
+	res.Order = make([]int, len(pl.Pi))
+	copy(res.Order, pl.Pi)
+
+	if opts.Workers > 1 {
+		pres, err := parallel.Run(g.g, pl, parallel.Options{Engine: eopts, Workers: opts.Workers}, visit)
+		res = fill(res, pres.Result, time.Since(start))
+		res.CandidateMemoryBytes = pres.CandidateMemBytes
+		return res, mapErr(err)
+	}
+	e := engine.New(g.g, pl, eopts)
+	eres, err := e.Run(visit)
+	res = fill(res, eres, time.Since(start))
+	res.CandidateMemoryBytes = e.CandidateMemoryBytes()
+	return res, mapErr(err)
+}
+
+func fill(res Result, er engine.Result, d time.Duration) Result {
+	res.Matches = er.Matches
+	res.Intersections = er.Stats.Intersections
+	res.GallopingPercent = er.Stats.GallopingPercent()
+	res.Nodes = er.Nodes
+	res.Duration = d
+	res.Stopped = er.Stopped
+	return res
+}
+
+func mapErr(err error) error {
+	if errors.Is(err, engine.ErrTimeLimit) {
+		return ErrTimeLimit
+	}
+	return err
+}
+
+// Explain returns a human-readable rendering of the plan the optimizer
+// would run for (g, p, opts): enumeration order, execution order with
+// COMP operands and MAT symmetry checks, anchor/free structure, and the
+// cost-model breakdown — the library's EXPLAIN.
+func Explain(g *Graph, p *Pattern, opts Options) (string, error) {
+	pl, err := preparePlan(g, p, opts)
+	if err != nil {
+		return "", err
+	}
+	return pl.Explain(estimate.Collect(g.g)), nil
+}

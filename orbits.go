@@ -1,0 +1,69 @@
+package light
+
+import (
+	"light/internal/pattern"
+)
+
+// Orbits describes the automorphism orbits of a pattern: pattern
+// vertices that can be swapped by a symmetry play the same structural
+// role, so per-vertex statistics are aggregated per orbit (the
+// "graphlet degree vector" convention from the graphlet-kernel
+// literature the paper's applications cite).
+type Orbits struct {
+	// OrbitOf[u] is the orbit index of pattern vertex u (0-based, dense).
+	OrbitOf []int
+	// Representatives[i] is the smallest pattern vertex in orbit i.
+	Representatives []int
+}
+
+// NumOrbits returns the number of distinct orbits.
+func (o *Orbits) NumOrbits() int { return len(o.Representatives) }
+
+// PatternOrbits computes the automorphism orbits of p.
+func PatternOrbits(p *Pattern) *Orbits {
+	n := p.p.NumVertices()
+	var orbitMask [pattern.MaxVertices]uint32
+	for _, a := range p.p.Automorphisms() {
+		for u := 0; u < n; u++ {
+			orbitMask[u] |= 1 << uint(a[u])
+		}
+	}
+	// Transitive closure: orbits are equivalence classes, but unioning
+	// per-vertex images over the full group already yields the class.
+	o := &Orbits{OrbitOf: make([]int, n)}
+	seen := map[uint32]int{}
+	for u := 0; u < n; u++ {
+		idx, ok := seen[orbitMask[u]]
+		if !ok {
+			idx = len(o.Representatives)
+			seen[orbitMask[u]] = idx
+			o.Representatives = append(o.Representatives, u)
+		}
+		o.OrbitOf[u] = idx
+	}
+	return o
+}
+
+// OrbitCounts counts, for every data vertex and every pattern orbit, how
+// many matched subgraphs the vertex participates in playing that orbit —
+// the graphlet degree vector rows for pattern p. counts[i][v] is the
+// count of orbit i at data vertex v.
+//
+// The enumeration cost equals Enumerate's; per-match work is O(n).
+func OrbitCounts(g *Graph, p *Pattern, opts Options) (counts [][]uint64, orbits *Orbits, err error) {
+	orbits = PatternOrbits(p)
+	counts = make([][]uint64, orbits.NumOrbits())
+	for i := range counts {
+		counts[i] = make([]uint64, g.NumVertices())
+	}
+	_, err = Enumerate(g, p, opts, func(m []VertexID) bool {
+		for u, v := range m {
+			counts[orbits.OrbitOf[u]][v]++
+		}
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return counts, orbits, nil
+}

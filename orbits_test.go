@@ -1,0 +1,99 @@
+package light
+
+import "testing"
+
+func TestPatternOrbits(t *testing.T) {
+	tri, _ := PatternByName("triangle")
+	o := PatternOrbits(tri)
+	if o.NumOrbits() != 1 {
+		t.Fatalf("triangle orbits = %d, want 1", o.NumOrbits())
+	}
+	// The house P4: apex pair {0,1} mirror, base pair {2,3} mirror, and
+	// u4; plus u2/u3 swap with 0/1... compute: the house's mirror swaps
+	// (0 1)(2 3) and fixes 4, giving orbits {0,1}, {2,3}, {4}.
+	p4, _ := PatternByName("P4")
+	o4 := PatternOrbits(p4)
+	if o4.NumOrbits() != 3 {
+		t.Fatalf("house orbits = %d (%v), want 3", o4.NumOrbits(), o4.OrbitOf)
+	}
+	if o4.OrbitOf[0] != o4.OrbitOf[1] || o4.OrbitOf[2] != o4.OrbitOf[3] || o4.OrbitOf[4] == o4.OrbitOf[0] {
+		t.Fatalf("house orbit assignment wrong: %v", o4.OrbitOf)
+	}
+	// A path of 3: ends together, middle alone.
+	p3, _ := PatternByName("path3")
+	o3 := PatternOrbits(p3)
+	if o3.NumOrbits() != 2 || o3.OrbitOf[0] != o3.OrbitOf[2] {
+		t.Fatalf("path3 orbits: %v", o3.OrbitOf)
+	}
+}
+
+func TestOrbitCountsTriangleOnComplete(t *testing.T) {
+	g := GenerateComplete(5)
+	tri, _ := PatternByName("triangle")
+	counts, orbits, err := OrbitCounts(g, tri, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orbits.NumOrbits() != 1 {
+		t.Fatal("triangle has one orbit")
+	}
+	// Each vertex of K5 is in C(4,2) = 6 triangles.
+	for v, c := range counts[0] {
+		if c != 6 {
+			t.Fatalf("vertex %d: %d triangles, want 6", v, c)
+		}
+	}
+}
+
+func TestOrbitCountsSumRule(t *testing.T) {
+	// Σ_v counts[i][v] = matches × |orbit i| for every orbit.
+	g := GenerateBarabasiAlbert(150, 4, 2)
+	for _, name := range []string{"P1", "P2", "P4", "path3"} {
+		p, _ := PatternByName(name)
+		res, err := Count(g, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, orbits, err := OrbitCounts(g, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		orbitSize := make([]uint64, orbits.NumOrbits())
+		for _, o := range orbits.OrbitOf {
+			orbitSize[o]++
+		}
+		for i := range counts {
+			var sum uint64
+			for _, c := range counts[i] {
+				sum += c
+			}
+			if sum != res.Matches*orbitSize[i] {
+				t.Fatalf("%s orbit %d: Σ = %d, want %d×%d", name, i, sum, res.Matches, orbitSize[i])
+			}
+		}
+	}
+}
+
+func TestOrbitCountsStarCenters(t *testing.T) {
+	// On a star graph, only the hub can play the star pattern's center.
+	g := NewGraph(5, [][2]VertexID{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	p, _ := PatternByName("star3")
+	counts, orbits, err := OrbitCounts(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orbits.NumOrbits() != 2 {
+		t.Fatalf("star3 orbits = %d", orbits.NumOrbits())
+	}
+	centerOrbit := orbits.OrbitOf[0]
+	// After degree reordering the hub is vertex 4 (highest degree).
+	hub := VertexID(4)
+	if counts[centerOrbit][hub] != 4 { // C(4,3) = 4 leaf choices
+		t.Fatalf("hub center count = %d, want 4", counts[centerOrbit][hub])
+	}
+	for v := VertexID(0); v < 4; v++ {
+		if counts[centerOrbit][v] != 0 {
+			t.Fatalf("leaf %d plays center %d times", v, counts[centerOrbit][v])
+		}
+	}
+}
