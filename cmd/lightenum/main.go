@@ -81,7 +81,6 @@ func main() {
 		}
 		defer f.Close()
 		out = bufio.NewWriterSize(f, 1<<20)
-		defer out.Flush()
 	}
 
 	var res light.Result
@@ -95,11 +94,11 @@ func main() {
 			if out != nil {
 				for i, v := range m {
 					if i > 0 {
-						out.WriteByte(' ')
+						out.WriteByte(' ') //lightvet:ignore hygiene -- bufio sticky error is checked at Flush
 					}
 					fmt.Fprintf(out, "%d", v)
 				}
-				out.WriteByte('\n')
+				out.WriteByte('\n') //lightvet:ignore hygiene -- bufio sticky error is checked at Flush
 			}
 			return true
 		})
@@ -108,6 +107,11 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if out != nil {
+		if err := out.Flush(); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("matches:          %d\n", res.Matches)
 	fmt.Printf("time:             %v\n", res.Duration.Round(time.Microsecond))

@@ -1,0 +1,70 @@
+// Command lightvet runs the project's static-analysis suite (see
+// internal/lint) over the module: hotpath allocation discipline,
+// concurrency discipline, CSR index safety, and API hygiene. It is part
+// of the tier-1 verify line and exits non-zero on any finding.
+//
+// Usage:
+//
+//	lightvet [-analyzers hotpath,concurrency,indexsafety,hygiene] [packages]
+//
+// Packages default to ./... . Findings are suppressed with a
+// "//lightvet:ignore <analyzer> -- reason" comment on or above the
+// offending line; hot functions are declared with "//light:hotpath" in
+// their doc comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"light/internal/lint"
+)
+
+func main() {
+	analyzerNames := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	listFlag := flag.Bool("list", false, "list the available analyzers and exit")
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *analyzerNames != "" {
+		var err error
+		analyzers, err = lint.ByName(*analyzerNames)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	m, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	findings := m.Lint(analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lightvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lightvet:", err)
+	os.Exit(1)
+}

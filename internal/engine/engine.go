@@ -11,7 +11,6 @@ package engine
 
 import (
 	"errors"
-	"sort"
 	"sync/atomic"
 	"time"
 
@@ -173,6 +172,8 @@ func (e *Enumerator) Run(visit VisitFunc) (Result, error) {
 
 // RunRoots enumerates only the given root candidates (used by the
 // parallel schedulers to partition C(π[1])). roots must be ascending.
+//
+//light:hotpath
 func (e *Enumerator) RunRoots(roots []graph.VertexID, visit VisitFunc) (Result, error) {
 	e.begin(visit)
 	rootVertex := e.pl.Pi[0]
@@ -257,6 +258,8 @@ func (e *Enumerator) candLiveAt(u int, sigmaIdx int) bool {
 
 // Resume continues the search captured in f. The frame's candidate sets
 // are copied into the enumerator's own buffers.
+//
+//light:hotpath
 func (e *Enumerator) Resume(f *Frame, visit VisitFunc) (Result, error) {
 	e.begin(visit)
 	copy(e.assigned, f.Assigned)
@@ -296,6 +299,8 @@ func (e *Enumerator) finish() (Result, error) {
 
 // step executes σ[i] and everything after it. It returns false to unwind
 // the whole search (deadline hit or visitor stop).
+//
+//light:hotpath
 func (e *Enumerator) step(i int) bool {
 	if i == len(e.pl.Sigma) {
 		return e.emit()
@@ -348,8 +353,8 @@ func (e *Enumerator) matLoop(i int, candidates []graph.VertexID, checkHook bool)
 	if lo >= hi {
 		return true
 	}
-	from := sort.Search(len(candidates), func(k int) bool { return int64(candidates[k]) >= lo })
-	to := sort.Search(len(candidates), func(k int) bool { return int64(candidates[k]) >= hi })
+	from := lowerBound(candidates, lo)
+	to := lowerBound(candidates, hi)
 	candidates = candidates[from:to]
 	if len(candidates) == 0 {
 		return true
@@ -391,6 +396,22 @@ func (e *Enumerator) matLoop(i int, candidates []graph.VertexID, checkHook bool)
 		e.matMask &^= bit
 	}
 	return true
+}
+
+// lowerBound returns the smallest index k with int64(s[k]) >= x, by
+// binary search. Equivalent to sort.Search but closure-free, keeping the
+// MAT loop allocation-free.
+func lowerBound(s []graph.VertexID, x int64) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int64(s[mid]) < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // bounds returns the open-below, open-above data-vertex id window

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// csrBytes serializes g, failing the fuzz setup on error.
+func csrBytes(f *testing.F, g *Graph) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteCSR(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzCSRRoundTrip feeds arbitrary bytes to the binary CSR decoder.
+// Invalid input must be rejected with an error — never a panic, hang,
+// or header-driven huge allocation. Accepted input must describe a
+// graph that passes Validate and survives a write/read round trip
+// byte-identically.
+func FuzzCSRRoundTrip(f *testing.F) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	f.Add(csrBytes(f, b.Build()))
+	f.Add(csrBytes(f, NewBuilder(0).Build()))
+	f.Add(csrBytes(f, NewBuilder(3).Build())) // vertices, no edges
+	f.Add([]byte{})
+	f.Add([]byte{0x48, 0x47, 0x49, 0x4c}) // truncated header
+	// Plausible header with no payload: magic, version 1, N=2^20, 2M=0.
+	hdr := make([]byte, 32)
+	copy(hdr, []byte{0x48, 0x47, 0x49, 0x4c, 0, 0, 0, 0, 1})
+	hdr[16], hdr[18] = 0, 0x10
+	f.Add(hdr)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadCSR(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is the expected outcome for junk input
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("ReadCSR accepted a graph that fails Validate: %v", err)
+		}
+		var out bytes.Buffer
+		if err := g.WriteCSR(&out); err != nil {
+			t.Fatalf("WriteCSR of an accepted graph: %v", err)
+		}
+		g2, err := ReadCSR(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading our own CSR output: %v", err)
+		}
+		if g.NumVertices() != g2.NumVertices() || g.NumEdges() != g2.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d vertices, %d/%d edges",
+				g.NumVertices(), g2.NumVertices(), g.NumEdges(), g2.NumEdges())
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			a, b := g.Neighbors(VertexID(v)), g2.Neighbors(VertexID(v))
+			if len(a) != len(b) {
+				t.Fatalf("vertex %d: neighbor count %d vs %d", v, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("vertex %d: neighbor %d is %d vs %d", v, i, a[i], b[i])
+				}
+			}
+		}
+		var again bytes.Buffer
+		if err := g2.WriteCSR(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), again.Bytes()) {
+			t.Fatal("WriteCSR is not byte-stable across a round trip")
+		}
+	})
+}

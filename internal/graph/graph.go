@@ -47,9 +47,10 @@ func (g *Graph) NumEdges() int64 {
 	return int64(len(g.adj)) / 2
 }
 
-// Degree returns d(v), the number of neighbors of v.
+// Degree returns d(v), the number of neighbors of v. The offset index is
+// computed in int64 so v = MaxUint32 cannot wrap to offsets[0].
 func (g *Graph) Degree(v VertexID) int {
-	return int(g.offsets[v+1] - g.offsets[v])
+	return int(g.offsets[int64(v)+1] - g.offsets[v])
 }
 
 // MaxDegree returns max over v of d(v) (d_max in the paper), or 0 for an
@@ -65,7 +66,7 @@ func (g *Graph) DegreeSum3() float64 { return g.degreeSum3 }
 // Neighbors returns the sorted neighbor list of v. The returned slice
 // aliases the graph's storage and must not be modified.
 func (g *Graph) Neighbors(v VertexID) []VertexID {
-	return g.adj[g.offsets[v]:g.offsets[v+1]]
+	return g.adj[g.offsets[v]:g.offsets[int64(v)+1]]
 }
 
 // HasEdge reports whether the edge (u, v) exists, by binary search on the
@@ -187,8 +188,8 @@ func (b *Builder) Build() *Graph {
 	n := b.n
 	deg := make([]int64, n+1)
 	for _, e := range b.edges {
-		deg[e.U+1]++
-		deg[e.V+1]++
+		deg[int64(e.U)+1]++
+		deg[int64(e.V)+1]++
 	}
 	offsets := make([]int64, n+1)
 	for v := 0; v < n; v++ {
@@ -291,10 +292,13 @@ func ReorderWithMapping(g *Graph) (*Graph, []VertexID) {
 // IsOrdered reports whether vertex IDs are nondecreasing in degree, i.e.
 // whether g is an ordered graph in the paper's sense.
 func (g *Graph) IsOrdered() bool {
-	for v := 1; v < g.NumVertices(); v++ {
-		if g.Degree(VertexID(v)) < g.Degree(VertexID(v-1)) {
+	prev := -1
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.Degree(VertexID(v))
+		if d < prev {
 			return false
 		}
+		prev = d
 	}
 	return true
 }

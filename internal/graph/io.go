@@ -38,7 +38,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[1], err)
 		}
-		b.AddEdge(VertexID(u), VertexID(v))
+		b.AddEdge(VertexID(u), VertexID(v)) //lightvet:ignore indexsafety -- ParseUint bitSize 32 bounds both values
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graph: reading edge list: %w", err)
@@ -125,34 +125,55 @@ func ReadCSR(r io.Reader) (*Graph, error) {
 	if hdr[1] != 1 {
 		return nil, fmt.Errorf("graph: unsupported CSR version %d", hdr[1])
 	}
-	n, m2 := int(hdr[2]), int(hdr[3])
-	// Sanity-cap the header sizes so a corrupted header cannot trigger a
-	// multi-terabyte allocation before the payload read fails.
+	// Sanity-cap the header sizes before converting to int, so a
+	// corrupted header can neither overflow the conversions below nor
+	// trigger a multi-terabyte allocation before the payload read fails.
 	const maxEntries = 1 << 31
-	if hdr[2] > maxEntries || hdr[3] > maxEntries || m2%2 != 0 {
+	if hdr[2] > maxEntries || hdr[3] > maxEntries || hdr[3]%2 != 0 {
 		return nil, fmt.Errorf("graph: implausible CSR header (N=%d, 2M=%d)", hdr[2], hdr[3])
 	}
-	g := &Graph{offsets: make([]int64, n+1), adj: make([]VertexID, m2)}
-	for i := range g.offsets {
-		var x uint64
-		if err := binary.Read(br, binary.LittleEndian, &x); err != nil {
+	n, m2 := int(hdr[2]), int(hdr[3]) //lightvet:ignore indexsafety -- bounded by the maxEntries check above
+	// Grow the arrays as payload actually arrives instead of trusting the
+	// header: a 40-byte corrupt stream claiming 2^31 vertices must fail on
+	// its first short read, not allocate gigabytes up front.
+	buf := make([]byte, 8*(1<<13))
+	g := &Graph{}
+	initialCap := n + 1
+	if initialCap > 1<<16 {
+		initialCap = 1 << 16
+	}
+	g.offsets = make([]int64, 0, initialCap)
+	for remaining := n + 1; remaining > 0; {
+		cnt := remaining
+		if cnt > len(buf)/8 {
+			cnt = len(buf) / 8
+		}
+		if _, err := io.ReadFull(br, buf[:8*cnt]); err != nil {
 			return nil, fmt.Errorf("graph: reading CSR offsets: %w", err)
 		}
-		g.offsets[i] = int64(x)
-	}
-	buf := make([]byte, 4*(1<<16))
-	for i := 0; i < m2; {
-		want := (m2 - i) * 4
-		if want > len(buf) {
-			want = len(buf)
+		for j := 0; j < cnt; j++ {
+			x := binary.LittleEndian.Uint64(buf[8*j:])
+			g.offsets = append(g.offsets, int64(x)) //lightvet:ignore indexsafety -- Validate below rejects negative or out-of-range offsets
 		}
-		if _, err := io.ReadFull(br, buf[:want]); err != nil {
+		remaining -= cnt
+	}
+	adjCap := m2
+	if adjCap > 1<<16 {
+		adjCap = 1 << 16
+	}
+	g.adj = make([]VertexID, 0, adjCap)
+	for remaining := m2; remaining > 0; {
+		cnt := remaining
+		if cnt > len(buf)/4 {
+			cnt = len(buf) / 4
+		}
+		if _, err := io.ReadFull(br, buf[:4*cnt]); err != nil {
 			return nil, fmt.Errorf("graph: reading CSR adjacency: %w", err)
 		}
-		for j := 0; j < want; j += 4 {
-			g.adj[i] = binary.LittleEndian.Uint32(buf[j:])
-			i++
+		for j := 0; j < cnt; j++ {
+			g.adj = append(g.adj, binary.LittleEndian.Uint32(buf[4*j:]))
 		}
+		remaining -= cnt
 	}
 	g.finalize()
 	if err := g.Validate(); err != nil {
@@ -167,11 +188,12 @@ func (g *Graph) SaveCSR(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := g.WriteCSR(f); err != nil {
-		f.Close()
-		return err
+	werr := g.WriteCSR(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
 	}
-	return f.Close()
+	return cerr
 }
 
 // LoadCSR reads a binary CSR graph from path.

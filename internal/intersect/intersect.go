@@ -99,6 +99,8 @@ func (s *Stats) GallopingPercent() float64 {
 // recording the operation in stats (which may be nil). It returns the
 // number of elements written. This is the instrumented entry point the
 // enumeration engines use.
+//
+//light:hotpath
 func Pair(dst, a, b []graph.VertexID, k Kind, delta int, stats *Stats) int {
 	if stats != nil {
 		stats.Intersections++
@@ -134,6 +136,8 @@ func Pair(dst, a, b []graph.VertexID, k Kind, delta int, stats *Stats) int {
 }
 
 // Merge intersects two sorted sets with the classic two-pointer loop.
+//
+//light:hotpath
 func Merge(dst, a, b []graph.VertexID) int {
 	dst = dst[:cap(dst)]
 	n := 0
@@ -158,6 +162,8 @@ func Merge(dst, a, b []graph.VertexID) int {
 // 8-element blocks whose maximum is below the other side's current
 // minimum are skipped with a single comparison (the vector compare), and
 // only value-overlapping windows are merged element-wise.
+//
+//light:hotpath
 func MergeBlock(dst, a, b []graph.VertexID) int {
 	dst = dst[:cap(dst)]
 	n := 0
@@ -240,6 +246,8 @@ func gallop(s []graph.VertexID, lo int, x graph.VertexID) int {
 // Galloping scans the smaller set and locates each element in the larger
 // one with exponential search. O(|small|·log|large|) — the right tool
 // under cardinality skew.
+//
+//light:hotpath
 func Galloping(dst, a, b []graph.VertexID) int {
 	if len(a) > len(b) {
 		a, b = b, a
@@ -286,6 +294,8 @@ func skewed(la, lb, delta int) bool {
 
 // Count returns |a ∩ b| without materializing the result, using the
 // hybrid strategy with threshold delta.
+//
+//light:hotpath
 func Count(a, b []graph.VertexID, delta int) int {
 	if skewed(len(a), len(b), delta) {
 		return countGalloping(a, b)
@@ -327,6 +337,8 @@ func countGalloping(a, b []graph.VertexID) int {
 }
 
 // Contains reports whether sorted set s contains x, by binary search.
+//
+//light:hotpath
 func Contains(s []graph.VertexID, x graph.VertexID) bool {
 	lo, hi := 0, len(s)
 	for lo < hi {
@@ -348,6 +360,8 @@ func Contains(s []graph.VertexID, x graph.VertexID) bool {
 //
 // The sets slice is reordered in place (ascending length). With one set,
 // its contents are copied into dst.
+//
+//light:hotpath
 func MultiWay(dst, scratch []graph.VertexID, sets [][]graph.VertexID, k Kind, delta int, stats *Stats) int {
 	switch len(sets) {
 	case 0:

@@ -1,0 +1,401 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Concurrency enforces the synchronization discipline of the parallel
+// scheduler. It flags:
+//
+//   - values containing sync or sync/atomic state copied by value
+//     (parameters, results, assignments, range variables),
+//   - struct fields accessed both through sync/atomic calls and through
+//     plain reads/writes,
+//   - sync.Cond Signal/Broadcast calls in functions that never acquire
+//     a lock (the condition's guarding mutex cannot be held),
+//   - go statements in functions with no WaitGroup use and no channel
+//     operation in scope (nothing can wait for or stop the goroutine).
+var Concurrency = &Analyzer{
+	Name: "concurrency",
+	Doc:  "lock copies, mixed atomic access, unguarded Cond wakeups, unsupervised goroutines",
+	Run:  runConcurrency,
+}
+
+func runConcurrency(m *Module) []Finding {
+	var findings []Finding
+	atomicFields, atomicUses := collectAtomicFields(m)
+	for _, pkg := range m.Packages {
+		findings = append(findings, checkLockCopies(pkg)...)
+		findings = append(findings, checkMixedAtomic(pkg, atomicFields, atomicUses)...)
+		findings = append(findings, checkFuncBodies(pkg)...)
+	}
+	return findings
+}
+
+// containsLockState reports whether t (by value) embeds synchronization
+// state that must not be copied, returning the offending type's name.
+func containsLockState(t types.Type) (string, bool) {
+	return lockSearch(t, map[types.Type]bool{})
+}
+
+func lockSearch(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Pool", "Map":
+					return "sync." + obj.Name(), true
+				}
+			case "sync/atomic":
+				return "atomic." + obj.Name(), true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, ok := lockSearch(u.Field(i).Type(), seen); ok {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return lockSearch(u.Elem(), seen)
+	}
+	return "", false
+}
+
+// checkLockCopies flags by-value copies of lock-bearing values.
+func checkLockCopies(pkg *Package) []Finding {
+	info := pkg.Info
+	var findings []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				if node.Type.Params != nil {
+					for _, field := range node.Type.Params.List {
+						t := info.TypeOf(field.Type)
+						if t == nil {
+							continue
+						}
+						if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+							continue
+						}
+						if name, ok := containsLockState(t); ok {
+							findings = append(findings, pkg.finding("concurrency", field.Type, "parameter passes %s by value; use a pointer", name))
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range node.Rhs {
+					if i >= len(node.Lhs) {
+						break
+					}
+					if !copiesValue(rhs) {
+						continue
+					}
+					t := info.TypeOf(rhs)
+					if t == nil {
+						continue
+					}
+					if name, ok := containsLockState(t); ok {
+						findings = append(findings, pkg.finding("concurrency", rhs, "assignment copies %s by value", name))
+					}
+				}
+			case *ast.RangeStmt:
+				if node.Value != nil {
+					t := info.TypeOf(node.Value)
+					if t != nil {
+						if name, ok := containsLockState(t); ok {
+							findings = append(findings, pkg.finding("concurrency", node.Value, "range copies %s by value; iterate by index", name))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// copiesValue reports whether the RHS expression reads an existing value
+// (as opposed to constructing a fresh one, which is initialization, not
+// a copy).
+func copiesValue(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// collectAtomicFields finds every struct field that is passed by address
+// to a sync/atomic function anywhere in the module, along with the exact
+// selector nodes used in those calls (which are the sanctioned uses).
+func collectAtomicFields(m *Module) (map[*types.Var]bool, map[*ast.SelectorExpr]bool) {
+	fields := map[*types.Var]bool{}
+	uses := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range m.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				x, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := info.Uses[x].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					fieldSel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if fv := fieldVar(info, fieldSel); fv != nil {
+						fields[fv] = true
+						uses[fieldSel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fields, uses
+}
+
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// checkMixedAtomic flags plain accesses to fields that are elsewhere
+// accessed through sync/atomic.
+func checkMixedAtomic(pkg *Package, atomicFields map[*types.Var]bool, atomicUses map[*ast.SelectorExpr]bool) []Finding {
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	info := pkg.Info
+	var findings []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUses[sel] {
+				return true
+			}
+			fv := fieldVar(info, sel)
+			if fv == nil || !atomicFields[fv] {
+				return true
+			}
+			findings = append(findings, pkg.finding("concurrency", sel, "field %s is accessed atomically elsewhere; this plain access races", fv.Name()))
+			return true
+		})
+	}
+	return findings
+}
+
+// checkFuncBodies runs the per-function-scope checks: Cond wakeups
+// without a lock acquisition in scope, and goroutines without a
+// WaitGroup or channel in scope. Each function literal is its own scope.
+func checkFuncBodies(pkg *Package) []Finding {
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			findings = append(findings, checkScope(pkg, fd.Body)...)
+		}
+	}
+	return findings
+}
+
+// checkScope inspects one function body, recursing manually into nested
+// function literals so each gets its own scope analysis.
+func checkScope(pkg *Package, body *ast.BlockStmt) []Finding {
+	info := pkg.Info
+	var findings []Finding
+
+	locksHeld := false  // a .Lock()/.RLock() call appears in this scope
+	waitGroup := false  // a WaitGroup method call appears in this scope
+	channelOps := false // any channel operation appears in this scope
+	type goSite struct {
+		node ast.Node
+		// supervised is true when the launched call itself carries its
+		// coordination (a producer goroutine sending on / closing a
+		// channel, or joining a WaitGroup in its own body).
+		supervised bool
+	}
+	var conds []ast.Node // Signal/Broadcast calls on sync.Cond
+	var gos []goSite
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			findings = append(findings, checkScope(pkg, node.Body)...)
+			return false
+		case *ast.GoStmt:
+			wg, ch := scanCoordination(info, node.Call)
+			gos = append(gos, goSite{node: node, supervised: wg || ch})
+			// The goroutine's own body is a fresh scope for the nested
+			// checks; its call arguments stay in this one.
+			if fl, ok := node.Call.Fun.(*ast.FuncLit); ok {
+				findings = append(findings, checkScope(pkg, fl.Body)...)
+				for _, arg := range node.Call.Args {
+					ast.Inspect(arg, walk)
+				}
+				return false
+			}
+			return true
+		case *ast.SendStmt, *ast.SelectStmt:
+			channelOps = true
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				channelOps = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(node.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					channelOps = true
+				}
+			}
+		case *ast.CallExpr:
+			if isCloseCall(info, node) {
+				channelOps = true
+			}
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
+				recv := methodRecvNamed(info, sel)
+				switch {
+				case recv == "sync.Mutex" || recv == "sync.RWMutex":
+					if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+						locksHeld = true
+					}
+				case recv == "sync.WaitGroup":
+					waitGroup = true
+				case recv == "sync.Cond":
+					if sel.Sel.Name == "Signal" || sel.Sel.Name == "Broadcast" {
+						conds = append(conds, node)
+					}
+					if sel.Sel.Name == "Wait" {
+						// Cond.Wait reacquires L, so the scope holds it.
+						locksHeld = true
+					}
+				}
+				// cond.L.Lock() goes through an interface; treat any
+				// .Lock()/.RLock() method call as acquiring.
+				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+					if sig, ok := info.TypeOf(node.Fun).(*types.Signature); ok && sig.Params().Len() == 0 {
+						locksHeld = true
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	if !locksHeld {
+		for _, n := range conds {
+			findings = append(findings, pkg.finding("concurrency", n, "sync.Cond wakeup in a function that never acquires a lock; the guarding mutex cannot be held"))
+		}
+	}
+	if !waitGroup && !channelOps {
+		for _, g := range gos {
+			if g.supervised {
+				continue
+			}
+			findings = append(findings, pkg.finding("concurrency", g.node, "goroutine launched with no WaitGroup or channel in scope; nothing can wait for or stop it"))
+		}
+	}
+	return findings
+}
+
+// isCloseCall reports whether the call is the close builtin.
+func isCloseCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// scanCoordination looks through a subtree — including nested function
+// literals — for WaitGroup method calls and channel operations.
+func scanCoordination(info *types.Info, n ast.Node) (waitGroup, channelOps bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			channelOps = true
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				channelOps = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(node.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					channelOps = true
+				}
+			}
+		case *ast.CallExpr:
+			if isCloseCall(info, node) {
+				channelOps = true
+			}
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
+				if methodRecvNamed(info, sel) == "sync.WaitGroup" {
+					waitGroup = true
+				}
+			}
+		}
+		return true
+	})
+	return waitGroup, channelOps
+}
+
+// methodRecvNamed returns "pkg.Type" for a method call's receiver type
+// (pointers stripped), or "" when the call is not a method selection.
+func methodRecvNamed(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return ""
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}

@@ -1,0 +1,338 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath enforces the allocation-free discipline of the enumeration
+// hot path. Functions annotated //light:hotpath are roots; every module
+// function a root statically calls (transitively) inherits the
+// obligation. Inside hot code the analyzer flags:
+//
+//   - make and new calls,
+//   - composite literals that allocate (address-taken, or slice/map),
+//   - function literals (closure headers allocate per call),
+//   - append into a destination not visibly preallocated (derived from
+//     a buf[:0] reslice in the same function),
+//   - any call into package fmt,
+//   - explicit conversions to interface types and implicit boxing of
+//     concrete arguments into interface parameters.
+//
+// Calls through function-typed fields or interface methods are dynamic
+// and do not propagate hotness; a //lightvet:ignore hotpath directive in
+// a callee's doc comment marks it acknowledged-cold and stops
+// propagation into it.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "allocation and boxing discipline for //light:hotpath functions",
+	Run:  runHotpath,
+}
+
+// hotFunc is one module function the analyzer knows about.
+type hotFunc struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	obj  *types.Func
+	// callees are the statically resolved module-internal calls.
+	callees []*types.Func
+	// root is non-nil once the function is known hot: the annotated
+	// function it is reachable from.
+	root *types.Func
+}
+
+func runHotpath(m *Module) []Finding {
+	fns := map[*types.Func]*hotFunc{}
+	var order []*types.Func // deterministic iteration
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fns[obj] = &hotFunc{pkg: pkg, decl: fd, obj: obj}
+				order = append(order, obj)
+			}
+		}
+	}
+
+	// Resolve the static call graph.
+	for _, obj := range order {
+		fn := fns[obj]
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := staticCallee(fn.pkg.Info, call); callee != nil {
+				if _, inModule := fns[callee]; inModule {
+					fn.callees = append(fn.callees, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// Propagate hotness from the annotated roots, skipping functions
+	// whose doc comment declares them acknowledged-cold.
+	var queue []*types.Func
+	for _, obj := range order {
+		fn := fns[obj]
+		if hotpathAnnotated(fn.decl.Doc) {
+			fn.root = obj
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		fn := fns[obj]
+		for _, callee := range fn.callees {
+			cf := fns[callee]
+			if cf.root != nil || funcIgnores(cf.decl, "hotpath") {
+				continue
+			}
+			cf.root = fn.root
+			queue = append(queue, callee)
+		}
+	}
+
+	var findings []Finding
+	for _, obj := range order {
+		fn := fns[obj]
+		if fn.root == nil {
+			continue
+		}
+		findings = append(findings, checkHotBody(fn)...)
+	}
+	return findings
+}
+
+// staticCallee resolves a call expression to the *types.Func it
+// statically invokes: plain function calls, package-qualified calls, and
+// method calls on concrete receivers. Calls through function values,
+// fields, and interface methods return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal {
+				if f, ok := sel.Obj().(*types.Func); ok {
+					// Interface method calls dispatch dynamically.
+					if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+						return nil
+					}
+					return f
+				}
+			}
+			return nil
+		}
+		// Package-qualified: pkg.Func.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// checkHotBody reports every allocation-discipline violation in one hot
+// function body.
+func checkHotBody(fn *hotFunc) []Finding {
+	pkg, body := fn.pkg, fn.decl.Body
+	info := pkg.Info
+	where := fmt.Sprintf("in hot path (%s", fn.obj.Name())
+	if fn.root != fn.obj {
+		where = fmt.Sprintf("in hot path (%s, reached from //light:hotpath root %s", fn.obj.Name(), fn.root.FullName())
+	}
+	where += ")"
+
+	prealloc := preallocatedVars(info, body)
+	var findings []Finding
+	addrTaken := map[*ast.CompositeLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if lit, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+					addrTaken[lit] = true
+					findings = append(findings, pkg.finding("hotpath", node, "&composite literal allocates %s", where))
+				}
+			}
+		case *ast.CompositeLit:
+			if addrTaken[node] {
+				return true
+			}
+			switch info.TypeOf(node).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				findings = append(findings, pkg.finding("hotpath", node, "%s literal allocates %s", typeKindName(info.TypeOf(node)), where))
+			}
+		case *ast.FuncLit:
+			findings = append(findings, pkg.finding("hotpath", node, "function literal allocates a closure %s", where))
+		case *ast.CallExpr:
+			findings = append(findings, checkHotCall(pkg, node, prealloc, where)...)
+		}
+		return true
+	})
+	return findings
+}
+
+func typeKindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+// checkHotCall inspects one call expression inside hot code.
+func checkHotCall(pkg *Package, call *ast.CallExpr, prealloc map[types.Object]bool, where string) []Finding {
+	info := pkg.Info
+	var findings []Finding
+
+	// Explicit type conversions: flag conversions whose target is an
+	// interface (boxing).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if !types.IsInterface(info.TypeOf(call.Args[0])) {
+				findings = append(findings, pkg.finding("hotpath", call, "conversion to interface %s allocates %s", tv.Type, where))
+			}
+		}
+		return findings
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				findings = append(findings, pkg.finding("hotpath", call, "make allocates %s", where))
+			case "new":
+				findings = append(findings, pkg.finding("hotpath", call, "new allocates %s", where))
+			case "append":
+				if len(call.Args) > 0 && !isPreallocated(info, call.Args[0], prealloc) {
+					findings = append(findings, pkg.finding("hotpath", call, "append without visible preallocation may grow the backing array %s", where))
+				}
+			}
+			return findings
+		}
+	}
+
+	// Calls into package fmt.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[x].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				findings = append(findings, pkg.finding("hotpath", call, "fmt.%s call %s (formats and boxes arguments)", sel.Sel.Name, where))
+				return findings
+			}
+		}
+	}
+
+	// Implicit boxing: a concrete argument passed for an interface
+	// parameter is converted (and usually heap-allocated) at the call.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return findings
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // passing a slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		findings = append(findings, pkg.finding("hotpath", arg, "argument boxes %s into interface %s %s", at, pt, where))
+	}
+	return findings
+}
+
+// preallocatedVars finds variables bound to a zero-length reslice of an
+// existing buffer (x := buf[:0] and the like). Appending to these reuses
+// the buffer's capacity, so hot-path appends into them are allowed.
+func preallocatedVars(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			id, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if isZeroReslice(info, rhs) {
+				if obj := lhsObject(info, id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isZeroReslice reports whether e has the form x[:0] (or x[0:0]).
+func isZeroReslice(info *types.Info, e ast.Expr) bool {
+	se, ok := ast.Unparen(e).(*ast.SliceExpr)
+	if !ok || se.High == nil {
+		return false
+	}
+	tv, ok := info.Types[se.High]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return exact && v == 0
+}
+
+// isPreallocated reports whether the append destination is a variable
+// known to reuse a preallocated buffer, or directly a zero reslice.
+func isPreallocated(info *types.Info, dst ast.Expr, prealloc map[types.Object]bool) bool {
+	if isZeroReslice(info, dst) {
+		return true
+	}
+	id, ok := ast.Unparen(dst).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := lhsObject(info, id)
+	return obj != nil && prealloc[obj]
+}
+
+func lhsObject(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hygiene enforces baseline API discipline:
+//
+//   - every exported package-level identifier (and exported method on an
+//     exported type) carries a doc comment; struct fields are covered by
+//     their type's comment and are not checked,
+//   - error returns are never silently discarded in an expression
+//     statement. Exempt: calls into package fmt (their errors are
+//     conventionally ignored), methods on strings.Builder and
+//     bytes.Buffer (documented to always return nil errors), and
+//     deferred calls, whose error has nowhere to go — check the sticky
+//     error explicitly instead.
+var Hygiene = &Analyzer{
+	Name: "hygiene",
+	Doc:  "exported identifiers need doc comments; error returns must not be discarded",
+	Run:  runHygiene,
+}
+
+func runHygiene(m *Module) []Finding {
+	var findings []Finding
+	for _, pkg := range m.Packages {
+		findings = append(findings, checkDocComments(pkg)...)
+		findings = append(findings, checkDiscardedErrors(pkg)...)
+	}
+	return findings
+}
+
+func checkDocComments(pkg *Package) []Finding {
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				if d.Recv != nil && !exportedReceiver(d.Recv) {
+					continue
+				}
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				findings = append(findings, pkg.finding("hygiene", d.Name, "exported %s %s has no doc comment", kind, d.Name.Name))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						// Unlike const/var groups, a trailing line
+						// comment is not documentation for a type.
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+							findings = append(findings, pkg.finding("hygiene", s.Name, "exported type %s has no doc comment", s.Name.Name))
+						}
+					case *ast.ValueSpec:
+						if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+							continue
+						}
+						for _, name := range s.Names {
+							if name.IsExported() {
+								findings = append(findings, pkg.finding("hygiene", name, "exported %s %s has no doc comment", valueKind(d), name.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+func valueKind(d *ast.GenDecl) string {
+	if d.Tok.String() == "const" {
+		return "const"
+	}
+	return "var"
+}
+
+// exportedReceiver reports whether a method's receiver base type is
+// exported (methods on unexported types are internal API).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func checkDiscardedErrors(pkg *Package) []Finding {
+	info := pkg.Info
+	var findings []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isFmtCall(info, call) || isInfallibleWriter(info, call) {
+				return true
+			}
+			t := info.TypeOf(call)
+			if t == nil || !lastIsError(t) {
+				return true
+			}
+			findings = append(findings, pkg.finding("hygiene", stmt, "error return of %s is silently discarded", callName(call)))
+			return true
+		})
+	}
+	return findings
+}
+
+func isFmtCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[x].(*types.PkgName)
+	return ok && pn.Imported().Path() == "fmt"
+}
+
+// isInfallibleWriter reports whether the call is a method on
+// strings.Builder or bytes.Buffer, whose Write* methods are documented
+// to always return a nil error.
+func isInfallibleWriter(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// lastIsError reports whether the call's (possibly tuple) result ends in
+// an error.
+func lastIsError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// IndexSafety guards the CSR graph package (package name "graph")
+// against 32-bit overflow, a real failure mode once graphs approach
+// production scale (vertex ids are uint32, adjacency offsets int64). It
+// flags:
+//
+//   - narrowing integer conversions — conversions whose target type
+//     cannot represent every value of the source type (uint64→int,
+//     int→uint32, …). Conversions of constants that fit, and of
+//     visibly bounded loop/range index variables, are accepted.
+//   - arithmetic (+, -, *, <<) carried out in a 32-bit integer type,
+//     where wraparound silently corrupts vertex ids or offsets; do the
+//     arithmetic in int64 and convert at the edges.
+var IndexSafety = &Analyzer{
+	Name: "indexsafety",
+	Doc:  "narrowing conversions and 32-bit arithmetic in the CSR graph package",
+	Run:  runIndexSafety,
+}
+
+func runIndexSafety(m *Module) []Finding {
+	var findings []Finding
+	for _, pkg := range m.Packages {
+		if pkg.Pkg.Name() != "graph" {
+			continue
+		}
+		findings = append(findings, checkIndexSafety(pkg)...)
+	}
+	return findings
+}
+
+func checkIndexSafety(pkg *Package) []Finding {
+	info := pkg.Info
+	var findings []Finding
+	for _, file := range pkg.Files {
+		bounded := boundedIndexVars(info, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				tv, ok := info.Types[node.Fun]
+				if !ok || !tv.IsType() || len(node.Args) != 1 {
+					return true
+				}
+				dst, ok := basicInt(tv.Type)
+				if !ok {
+					return true
+				}
+				arg := ast.Unparen(node.Args[0])
+				src, ok := basicInt(info.TypeOf(arg))
+				if !ok {
+					return true
+				}
+				if !narrows(src, dst) {
+					return true
+				}
+				if av, aok := info.Types[arg]; aok && av.Value != nil {
+					return true // constants that fit are checked by the compiler
+				}
+				if id, ok := arg.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil && bounded[obj] {
+						return true
+					}
+				}
+				findings = append(findings, pkg.finding("indexsafety", node, "narrowing conversion %s→%s may overflow at production graph scale", typeName(src), typeName(dst)))
+			case *ast.BinaryExpr:
+				switch node.Op {
+				case token.ADD, token.SUB, token.MUL, token.SHL:
+				default:
+					return true
+				}
+				tv, ok := info.Types[node]
+				if !ok || tv.Value != nil {
+					return true // constant-folded
+				}
+				b, ok := basicInt(tv.Type)
+				if !ok {
+					return true
+				}
+				if b.Kind() == types.Int32 || b.Kind() == types.Uint32 {
+					findings = append(findings, pkg.finding("indexsafety", node, "32-bit %s arithmetic may wrap; compute in int64 and convert at the edges", typeName(b)))
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// basicInt unwraps t to a basic integer type.
+func basicInt(t types.Type) (*types.Basic, bool) {
+	if t == nil {
+		return nil, false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil, false
+	}
+	return b, true
+}
+
+// intMaxRank maps an integer kind to a rank ordered by the maximum value
+// the type can hold (int/uint treated as 64-bit, matching every platform
+// the engine targets).
+func intMaxRank(b *types.Basic) int {
+	switch b.Kind() {
+	case types.Int8:
+		return 1
+	case types.Uint8:
+		return 2
+	case types.Int16:
+		return 3
+	case types.Uint16:
+		return 4
+	case types.Int32:
+		return 5
+	case types.Uint32:
+		return 6
+	case types.Int64, types.Int, types.UntypedInt:
+		return 7
+	case types.Uint64, types.Uint, types.Uintptr:
+		return 8
+	}
+	return 7
+}
+
+// narrows reports whether converting src to dst can lose high bits: the
+// source's maximum value exceeds the destination's. Sign-only changes at
+// the same width (int64→uint64) are not flagged.
+func narrows(src, dst *types.Basic) bool {
+	return intMaxRank(src) > intMaxRank(dst)
+}
+
+func typeName(b *types.Basic) string { return b.Name() }
+
+// boundedIndexVars collects loop variables whose value is visibly
+// bounded: `for i := 0; i < bound; i++` counters and range indices over
+// slices or arrays. Narrowing conversions of these are accepted — the
+// bound keeps them in range wherever the container itself is in range.
+func boundedIndexVars(info *types.Info, file *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.ForStmt:
+			assign, ok := node.Init.(*ast.AssignStmt)
+			if !ok || assign.Tok != token.DEFINE || len(assign.Lhs) != 1 {
+				return true
+			}
+			id, ok := assign.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			cond, ok := node.Cond.(*ast.BinaryExpr)
+			if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+				return true
+			}
+			left, ok := cond.X.(*ast.Ident)
+			if !ok || left.Name != id.Name {
+				return true
+			}
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+		case *ast.RangeStmt:
+			id, ok := node.Key.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(node.X)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Array:
+				if obj := info.Defs[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,277 @@
+// Package lint is the reusable core of cmd/lightvet, a project-specific
+// static-analysis suite for the LIGHT engine. It is built purely on the
+// standard library's go/ast, go/parser and go/types (no x/tools
+// dependency, honoring the repo's stdlib-only constraint).
+//
+// Four analyzers guard the invariants the paper's performance model
+// depends on:
+//
+//   - hotpath: functions annotated //light:hotpath — and every module
+//     function they statically call — must stay allocation-free: no
+//     make/new, no heap composite literals, no closures, no fmt calls,
+//     no interface boxing, and no append into buffers that were not
+//     visibly preallocated.
+//   - concurrency: synchronization discipline — locks copied by value,
+//     fields accessed both atomically and non-atomically,
+//     sync.Cond.Signal/Broadcast outside any lock, and goroutines
+//     launched without a WaitGroup or channel in scope.
+//   - indexsafety: 32-bit narrowing conversions and 32-bit arithmetic
+//     in the CSR graph package, where int32/uint32 overflow is a real
+//     failure mode at production graph scale.
+//   - hygiene: exported identifiers without doc comments and silently
+//     discarded error returns.
+//
+// Findings can be suppressed with a trailing or preceding
+// "//lightvet:ignore <analyzer>..." comment; a bare "//lightvet:ignore"
+// suppresses every analyzer. The same directive in a function's doc
+// comment suppresses the named analyzers for the whole function (and
+// keeps hotpath from propagating through it).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional path:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Module is the full analysis universe: every loaded package of one Go
+// module, in dependency order, sharing a FileSet.
+type Module struct {
+	Path     string // module path, e.g. "light"
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// Analyzer is one named check over a whole module.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(m *Module) []Finding
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Hotpath, Concurrency, IndexSafety, Hygiene}
+}
+
+// ByName resolves a comma-separated analyzer list ("hotpath,hygiene").
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Lint runs the analyzers over the module, drops suppressed findings,
+// and returns the remainder sorted by position.
+func (m *Module) Lint(analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, a := range analyzers {
+		all = append(all, a.Run(m)...)
+	}
+	sup := m.suppressions()
+	kept := all[:0]
+	for _, f := range all {
+		if !sup.matches(f) {
+			kept = append(kept, f)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// ignoreDirective parses a "lightvet:ignore ..." comment, returning the
+// analyzer names it names (nil, true for the bare form that suppresses
+// everything).
+func ignoreDirective(text string) (names []string, ok bool) {
+	const prefix = "//lightvet:ignore"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(text[len(prefix):])
+	// Allow a trailing justification after " -- ".
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	}
+	if rest == "" {
+		return nil, true
+	}
+	return strings.Fields(rest), true
+}
+
+// hotpathAnnotated reports whether a doc comment carries the
+// //light:hotpath directive.
+func hotpathAnnotated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == "//light:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressionSet records, per file, which lines and line ranges have
+// active lightvet:ignore directives.
+type suppressionSet struct {
+	// lines[file][line] holds analyzer names suppressed at that line
+	// (the sentinel "*" suppresses all analyzers).
+	lines map[string]map[int][]string
+}
+
+func (s *suppressionSet) add(file string, line int, names []string) {
+	if s.lines == nil {
+		s.lines = map[string]map[int][]string{}
+	}
+	fl := s.lines[file]
+	if fl == nil {
+		fl = map[int][]string{}
+		s.lines[file] = fl
+	}
+	if names == nil {
+		names = []string{"*"}
+	}
+	fl[line] = append(fl[line], names...)
+}
+
+func (s *suppressionSet) matches(f Finding) bool {
+	fl := s.lines[f.Pos.Filename]
+	if fl == nil {
+		return false
+	}
+	for _, name := range fl[f.Pos.Line] {
+		if name == "*" || name == f.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions gathers every lightvet:ignore directive in the module. A
+// directive covers its own line and the following line (so it works both
+// trailing an offending expression and on its own line above one). A
+// directive in a function's doc comment covers the function's whole
+// body.
+func (m *Module) suppressions() *suppressionSet {
+	s := &suppressionSet{}
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					names, ok := ignoreDirective(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					s.add(pos.Filename, pos.Line, names)
+					s.add(pos.Filename, pos.Line+1, names)
+				}
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || fd.Body == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					names, ok := ignoreDirective(c.Text)
+					if !ok {
+						continue
+					}
+					start := pkg.Fset.Position(fd.Pos()).Line
+					end := pkg.Fset.Position(fd.End()).Line
+					fname := pkg.Fset.Position(fd.Pos()).Filename
+					for line := start; line <= end; line++ {
+						s.add(fname, line, names)
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// funcIgnores reports whether the function's doc comment suppresses the
+// named analyzer for the entire declaration (used by hotpath to stop
+// propagation into acknowledged-cold callees).
+func funcIgnores(fd *ast.FuncDecl, analyzer string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		names, ok := ignoreDirective(c.Text)
+		if !ok {
+			continue
+		}
+		if names == nil {
+			return true
+		}
+		for _, n := range names {
+			if n == "*" || n == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// finding is a small helper building a Finding at a node's position.
+func (p *Package) finding(analyzer string, n ast.Node, format string, args ...any) Finding {
+	return Finding{
+		Analyzer: analyzer,
+		Pos:      p.Fset.Position(n.Pos()),
+		Message:  fmt.Sprintf(format, args...),
+	}
+}

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// rawPackage is an unparsed package: an import path plus its Go files.
+type rawPackage struct {
+	path    string
+	dir     string
+	files   []string // absolute paths
+	imports []string
+}
+
+// listedPackage mirrors the subset of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path string }
+}
+
+// goList runs `go list -json` in dir for the given patterns and decodes
+// the stream of package objects.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=Dir,ImportPath,Name,GoFiles,Imports,Module", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load lists the packages matching patterns (relative to dir, e.g.
+// "./...") with the go tool, pulls in any module-internal dependencies
+// that the patterns missed, and type-checks everything in dependency
+// order. Standard-library imports are type-checked from GOROOT source by
+// the stdlib "source" importer.
+func Load(dir string, patterns []string) (*Module, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(listed) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+	modPath := ""
+	for _, p := range listed {
+		if p.Module != nil && p.Module.Path != "" {
+			modPath = p.Module.Path
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: packages %v are not inside a module", patterns)
+	}
+
+	byPath := map[string]listedPackage{}
+	for _, p := range listed {
+		byPath[p.ImportPath] = p
+	}
+	// Chase module-internal imports the patterns did not match, so the
+	// type checker always has its dependencies available.
+	for {
+		var missing []string
+		for _, p := range byPath {
+			for _, imp := range p.Imports {
+				if isModuleLocal(imp, modPath) {
+					if _, ok := byPath[imp]; !ok {
+						missing = append(missing, imp)
+					}
+				}
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		sort.Strings(missing)
+		extra, err := goList(dir, missing)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range extra {
+			byPath[p.ImportPath] = p
+		}
+	}
+
+	raw := make([]*rawPackage, 0, len(byPath))
+	for _, p := range byPath {
+		rp := &rawPackage{path: p.ImportPath, dir: p.Dir}
+		for _, f := range p.GoFiles {
+			rp.files = append(rp.files, filepath.Join(p.Dir, f))
+		}
+		for _, imp := range p.Imports {
+			if isModuleLocal(imp, modPath) {
+				rp.imports = append(rp.imports, imp)
+			}
+		}
+		raw = append(raw, rp)
+	}
+	ordered, err := topoSort(raw)
+	if err != nil {
+		return nil, err
+	}
+	return typeCheck(modPath, ordered)
+}
+
+// LoadDirs type-checks stand-alone package directories (fixture trees in
+// tests). dirs maps an import path to the directory holding the
+// package's files; packages may import each other by those paths and
+// anything from the standard library.
+func LoadDirs(modPath string, paths []string, dirs map[string]string) (*Module, error) {
+	raw := make([]*rawPackage, 0, len(paths))
+	for _, path := range paths {
+		dir, ok := dirs[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no directory for package %q", path)
+		}
+		matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(matches)
+		raw = append(raw, &rawPackage{path: path, dir: dir, files: matches})
+	}
+	// Imports are discovered during parsing; order is the caller's.
+	return typeCheck(modPath, raw)
+}
+
+func isModuleLocal(importPath, modPath string) bool {
+	return importPath == modPath || strings.HasPrefix(importPath, modPath+"/")
+}
+
+// topoSort orders packages so every module-internal dependency precedes
+// its importers.
+func topoSort(raw []*rawPackage) ([]*rawPackage, error) {
+	byPath := map[string]*rawPackage{}
+	for _, p := range raw {
+		byPath[p.path] = p
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := map[string]int{}
+	var ordered []*rawPackage
+	var visit func(p *rawPackage) error
+	visit = func(p *rawPackage) error {
+		switch state[p.path] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("lint: import cycle through %s", p.path)
+		}
+		state[p.path] = grey
+		for _, imp := range p.imports {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.path] = black
+		ordered = append(ordered, p)
+		return nil
+	}
+	paths := make([]string, 0, len(raw))
+	for _, p := range raw {
+		paths = append(paths, p.path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(byPath[path]); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// moduleImporter resolves module-internal imports from the packages
+// type-checked so far and everything else from GOROOT source.
+type moduleImporter struct {
+	modPath string
+	done    map[string]*types.Package
+	std     types.ImporterFrom
+}
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := im.done[path]; ok {
+		return pkg, nil
+	}
+	if isModuleLocal(path, im.modPath) {
+		return nil, fmt.Errorf("lint: internal package %s not yet type-checked (load order bug)", path)
+	}
+	return im.std.ImportFrom(path, dir, mode)
+}
+
+// typeCheck parses and type-checks the packages in the given order and
+// assembles the Module.
+func typeCheck(modPath string, ordered []*rawPackage) (*Module, error) {
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not support ImportFrom")
+	}
+	im := &moduleImporter{modPath: modPath, done: map[string]*types.Package{}, std: std}
+	m := &Module{Path: modPath, Fset: fset}
+	for _, rp := range ordered {
+		files := make([]*ast.File, 0, len(rp.files))
+		for _, path := range rp.files {
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: im}
+		tpkg, err := conf.Check(rp.path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", rp.path, err)
+		}
+		im.done[rp.path] = tpkg
+		m.Packages = append(m.Packages, &Package{
+			Path:  rp.path,
+			Fset:  fset,
+			Files: files,
+			Pkg:   tpkg,
+			Info:  info,
+		})
+	}
+	return m, nil
+}

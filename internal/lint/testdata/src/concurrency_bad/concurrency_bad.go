@@ -1,0 +1,55 @@
+// Package cc holds concurrency violation fixtures.
+package cc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool carries scheduler state.
+type Pool struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count uint64
+	queue []int
+}
+
+// TakeByValue copies the embedded mutex.
+func TakeByValue(p Pool) int { // want concurrency
+	return int(p.count) // want concurrency
+}
+
+// CopyAssign copies a lock-bearing value into a local.
+func CopyAssign(p *Pool) int {
+	local := *p // want concurrency
+	return len(local.queue)
+}
+
+// RangeCopy iterates lock-bearing values by value.
+func RangeCopy(ps []Pool) int {
+	n := 0
+	for _, p := range ps { // want concurrency
+		n += int(p.count) // want concurrency
+	}
+	return n
+}
+
+// BumpAtomic updates count through sync/atomic.
+func BumpAtomic(p *Pool) {
+	atomic.AddUint64(&p.count, 1)
+}
+
+// ReadPlain reads the same field without atomic — a data race.
+func ReadPlain(p *Pool) uint64 {
+	return p.count // want concurrency
+}
+
+// WakeWithoutLock signals the condition with no lock in scope.
+func WakeWithoutLock(p *Pool) {
+	p.cond.Broadcast() // want concurrency
+}
+
+// FireAndForget launches an unsupervised goroutine.
+func FireAndForget(p *Pool) {
+	go BumpAtomic(p) // want concurrency
+}

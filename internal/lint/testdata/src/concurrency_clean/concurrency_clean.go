@@ -1,0 +1,71 @@
+// Package cc holds concurrency-clean fixtures: disciplined use of the
+// same primitives must produce no findings.
+package cc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool carries scheduler state behind a pointer everywhere.
+type Pool struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count atomic.Uint64
+	queue []int
+}
+
+// NewPool wires the condition to its mutex.
+func NewPool() *Pool {
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Bump uses the typed atomic; there is no plain access to count.
+func (p *Pool) Bump() { p.count.Add(1) }
+
+// Push publishes work under the lock and wakes a waiter while holding it.
+func (p *Pool) Push(v int) {
+	p.mu.Lock()
+	p.queue = append(p.queue, v)
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// Pop blocks until work arrives; Cond.Wait holds the lock on return.
+func (p *Pool) Pop() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) == 0 {
+		p.cond.Wait()
+	}
+	v := p.queue[0]
+	p.queue = p.queue[1:]
+	return v
+}
+
+// RunWorkers launches goroutines with a WaitGroup to join them.
+func RunWorkers(p *Pool, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Bump()
+		}()
+	}
+	wg.Wait()
+}
+
+// Stream launches a producer goroutine supervised by a channel.
+func Stream(n int) <-chan int {
+	out := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			out <- i
+		}
+		close(out)
+	}()
+	return out
+}

@@ -1,0 +1,38 @@
+// Package hp holds hotpath violation fixtures: every construct the
+// analyzer must flag inside annotated (or reachable) functions.
+package hp
+
+import "fmt"
+
+// state is a helper carrying buffers.
+type state struct {
+	buf []uint32
+	out []uint32
+}
+
+// Root is the annotated entry point.
+//
+//light:hotpath
+func Root(s *state, n int) int {
+	tmp := make([]uint32, n) // want hotpath
+	s.out = append(s.out, 1) // want hotpath
+	total := 0
+	for _, v := range tmp {
+		total += int(v)
+	}
+	fmt.Println(total) // want hotpath
+	f := func() int { return total } // want hotpath
+	helper(s)
+	return f()
+}
+
+// helper is reached from Root, so it inherits the obligation.
+func helper(s *state) {
+	var sink interface{} = s.buf // box assignment is not flagged; calls are
+	_ = sink
+	box(s.buf) // want hotpath
+	s.buf = new([8]uint32)[:] // want hotpath
+}
+
+// box takes an interface parameter.
+func box(v interface{}) { _ = v }

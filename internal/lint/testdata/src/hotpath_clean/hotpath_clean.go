@@ -1,0 +1,55 @@
+// Package hp holds hotpath-clean fixtures: annotated code following the
+// allocation-free discipline must produce no findings.
+package hp
+
+// Kernel holds preallocated buffers.
+type Kernel struct {
+	buf     []uint32
+	scratch []uint32
+	hook    func(int) int
+}
+
+// result is a plain value struct; value literals of it do not allocate.
+type result struct {
+	count int
+	last  uint32
+}
+
+// Setup allocates the buffers up front; it is not annotated and is not
+// called from hot code.
+func Setup(n int) *Kernel {
+	return &Kernel{buf: make([]uint32, n), scratch: make([]uint32, n)}
+}
+
+// Run is the annotated hot entry point: appends reuse preallocated
+// capacity, literals are plain values, and the hook call is dynamic (so
+// coldMake is not pulled into the hot set).
+//
+//light:hotpath
+func Run(k *Kernel, xs []uint32) result {
+	out := k.buf[:0]
+	for _, x := range xs {
+		if x%2 == 0 {
+			out = append(out, x)
+		}
+	}
+	r := result{count: len(out)}
+	if len(out) > 0 {
+		r.last = out[len(out)-1]
+	}
+	if k.hook != nil {
+		r.count = k.hook(r.count)
+	}
+	coldRefill(k)
+	return r
+}
+
+// coldRefill is acknowledged-cold: the directive stops hotpath
+// propagation into it, mirroring setup work behind a rare branch.
+//
+//lightvet:ignore hotpath -- rare refill path, measured off the hot loop
+func coldRefill(k *Kernel) {
+	if cap(k.scratch) == 0 {
+		k.scratch = make([]uint32, 64)
+	}
+}

@@ -1,0 +1,32 @@
+// Package graph holds index-safety violation fixtures; the analyzer is
+// scoped to packages named graph, mirroring the real CSR package.
+package graph
+
+// VertexID mirrors the engine's 32-bit vertex handle.
+type VertexID uint32
+
+// Truncate narrows a 64-bit adjacency offset into an int32 index.
+func Truncate(off int64) int32 {
+	return int32(off) // want indexsafety
+}
+
+// ToVertex narrows an arbitrary int into a vertex id with no bound in
+// sight.
+func ToVertex(v int) VertexID {
+	return VertexID(v) // want indexsafety
+}
+
+// SumIDs adds vertex ids in 32-bit space, where the sum can wrap.
+func SumIDs(a, b VertexID) VertexID {
+	return a + b // want indexsafety
+}
+
+// Scale shifts in 32-bit space.
+func Scale(a uint32, k uint) uint32 {
+	return a << k // want indexsafety
+}
+
+// FromUnsigned narrows uint64 into int.
+func FromUnsigned(x uint64) int {
+	return int(x) // want indexsafety
+}

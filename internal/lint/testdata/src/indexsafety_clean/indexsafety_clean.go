@@ -1,0 +1,36 @@
+// Package graph holds index-safety clean fixtures: widening
+// conversions, visibly bounded index variables, constants, and 64-bit
+// arithmetic must produce no findings.
+package graph
+
+// VertexID mirrors the engine's 32-bit vertex handle.
+type VertexID uint32
+
+// Widen moves a vertex id into 64-bit space; widening never loses bits.
+func Widen(v VertexID) int64 {
+	return int64(v)
+}
+
+// FillCounter converts a loop counter whose bound is visible in the for
+// statement.
+func FillCounter(out []VertexID, n int) {
+	for i := 0; i < n; i++ {
+		out[i] = VertexID(i)
+	}
+}
+
+// RangeIndex converts range indices over a slice; the container bounds
+// them.
+func RangeIndex(adj []VertexID) []int64 {
+	offs := make([]int64, len(adj))
+	for i := range adj {
+		offs[i] = int64(uint32(i)) + Widen(adj[i])
+	}
+	return offs
+}
+
+// Add64 keeps arithmetic in 64-bit space and converts only constants.
+func Add64(a, b int64) int64 {
+	const base = 16
+	return a + b + int64(base)
+}

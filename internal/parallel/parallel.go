@@ -186,17 +186,18 @@ type pool struct {
 	steals    atomic.Uint64
 }
 
-// worker runs until the roots are exhausted and the queue stays empty
-// with every other worker idle.
+// worker sets up this worker's enumerator and hands off to the
+// scheduling loop; it returns when the roots are exhausted and the queue
+// stays empty with every other worker idle.
 func (p *pool) worker(idx int) (engine.Result, int64, error) {
 	e := engine.New(p.g, p.pl, p.opts.Engine)
 	e.Stop = &p.stop
 	if p.opts.Scheduler == WorkStealing {
 		e.Hook = p.makeHook()
 	}
-	var acc engine.Result
 	if p.opts.Scheduler == StaticPartition {
 		// One fixed slice per worker, no rebalancing of any kind.
+		var acc engine.Result
 		n := len(p.roots)
 		lo := idx * n / p.opts.Workers
 		hi := (idx + 1) * n / p.opts.Workers
@@ -207,6 +208,18 @@ func (p *pool) worker(idx int) (engine.Result, int64, error) {
 		acc.Add(res)
 		return acc, e.CandidateMemoryBytes(), err
 	}
+	acc, err := p.runLoop(e)
+	return acc, e.CandidateMemoryBytes(), err
+}
+
+// runLoop is the worker body proper: claim root chunks while any remain,
+// then execute donated frames until global termination. It stays
+// allocation-free — every per-worker buffer was allocated by engine.New
+// before entry.
+//
+//light:hotpath
+func (p *pool) runLoop(e *engine.Enumerator) (engine.Result, error) {
+	var acc engine.Result
 	for {
 		// Phase 1: claim a root chunk.
 		if lo := p.cursor.Add(int64(p.opts.ChunkSize)) - int64(p.opts.ChunkSize); lo < int64(len(p.roots)) {
@@ -220,14 +233,14 @@ func (p *pool) worker(idx int) (engine.Result, int64, error) {
 			if err != nil || res.Stopped {
 				p.stop.Store(true)
 				p.wakeAll()
-				return acc, e.CandidateMemoryBytes(), err
+				return acc, err
 			}
 			continue
 		}
 		// Phase 2: take donated frames, or wait for some.
 		f, ok := p.takeFrame()
 		if !ok {
-			return acc, e.CandidateMemoryBytes(), nil
+			return acc, nil
 		}
 		p.steals.Add(1)
 		res, err := e.Resume(f, p.visit)
@@ -235,7 +248,7 @@ func (p *pool) worker(idx int) (engine.Result, int64, error) {
 		if err != nil || res.Stopped {
 			p.stop.Store(true)
 			p.wakeAll()
-			return acc, e.CandidateMemoryBytes(), err
+			return acc, err
 		}
 	}
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# verify.sh — the repository's full verification gate, identical to CI.
+# Usage: scripts/verify.sh [-short]
+#   -short  trims the slow paths (stress iterations, module-load test)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SHORT=()
+if [[ "${1:-}" == "-short" ]]; then
+    SHORT=(-short)
+fi
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> lightvet ./..."
+go run ./cmd/lightvet ./...
+
+echo "==> go test ./..."
+go test "${SHORT[@]}" ./...
+
+echo "==> go test -race (parallel, engine)"
+go test -race "${SHORT[@]}" ./internal/parallel/... ./internal/engine/...
+
+echo "==> fuzz smoke: FuzzCSRRoundTrip (10s)"
+go test ./internal/graph/ -run FuzzCSRRoundTrip -fuzz FuzzCSRRoundTrip -fuzztime 10s
+
+echo "verify: OK"
