@@ -5,6 +5,11 @@
 //
 //	lightenum -pattern P2 -graph path.txt [-algo LIGHT] [-workers 8]
 //	          [-kernel HybridBlock] [-timeout 60s] [-print 10]
+//	          [-checkpoint state.ckpt] [-resume state.ckpt]
+//
+// With -checkpoint, the run periodically persists its progress; if it
+// is interrupted (Ctrl-C, SIGTERM, timeout), re-running with -resume
+// continues from the saved state and reports the combined total.
 //
 // The graph may be an edge-list file (.txt), a binary CSR file written
 // by gengraph (.csr), or the name of a built-in synthetic dataset
@@ -13,10 +18,15 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"light"
@@ -36,6 +46,9 @@ func main() {
 	outPath := flag.String("out", "", "stream all matches to this file (one line per match)")
 	explain := flag.Bool("explain", false, "print the compiled plan and exit")
 	approx := flag.Int("approx", 0, "estimate the count from this many sampling probes instead of enumerating")
+	ckptPath := flag.String("checkpoint", "", "periodically save resumable progress to this file")
+	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second, "how often to write the checkpoint")
+	resumePath := flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
 	flag.Parse()
 
 	g, err := loadGraph(*graphArg, *scale)
@@ -46,7 +59,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := light.Options{Workers: *workers, TimeLimit: *timeout}
+	opts := light.Options{
+		Workers:            *workers,
+		TimeLimit:          *timeout,
+		CheckpointPath:     *ckptPath,
+		CheckpointInterval: *ckptEvery,
+		ResumeFrom:         *resumePath,
+	}
 	if opts.Algorithm, err = parseAlgo(*algoName); err != nil {
 		fatal(err)
 	}
@@ -73,20 +92,25 @@ func main() {
 		return
 	}
 
+	// Ctrl-C / SIGTERM cancel the run instead of killing the process, so
+	// a -checkpoint run gets its final on-stop snapshot written before
+	// exit.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	var out *bufio.Writer
+	var commitOut func() error
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
+		out, commitOut, err = atomicWriter(*outPath)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		out = bufio.NewWriterSize(f, 1<<20)
 	}
 
 	var res light.Result
 	if *printN > 0 || out != nil {
 		shown := 0
-		res, err = light.Enumerate(g, p, opts, func(m []light.VertexID) bool {
+		res, err = light.EnumerateContext(ctx, g, p, opts, func(m []light.VertexID) bool {
 			if shown < *printN {
 				fmt.Printf("  match %v\n", m)
 				shown++
@@ -103,14 +127,22 @@ func main() {
 			return true
 		})
 	} else {
-		res, err = light.Count(g, p, opts)
+		res, err = light.CountContext(ctx, g, p, opts)
 	}
-	if err != nil {
+	stopSignals()
+	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !interrupted {
 		fatal(err)
 	}
 	if out != nil {
-		if err := out.Flush(); err != nil {
+		if err := commitOut(); err != nil {
 			fatal(err)
+		}
+	}
+	if interrupted {
+		fmt.Printf("interrupted:      partial results below (%v)\n", err)
+		if *ckptPath != "" {
+			fmt.Printf("resume with:      -resume %s\n", *ckptPath)
 		}
 	}
 	fmt.Printf("matches:          %d\n", res.Matches)
@@ -118,6 +150,42 @@ func main() {
 	fmt.Printf("order:            %v\n", res.Order)
 	fmt.Printf("intersections:    %d (%.1f%% galloping)\n", res.Intersections, res.GallopingPercent)
 	fmt.Printf("candidate memory: %d bytes\n", res.CandidateMemoryBytes)
+}
+
+// atomicWriter opens a buffered writer backed by a temp file next to
+// path. commit flushes, syncs, closes, and renames the temp file over
+// path, so readers never observe a partially written match list; any
+// failure leaves path untouched and removes the temp file.
+func atomicWriter(path string) (*bufio.Writer, func() error, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), ".out-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	tmpName := f.Name()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	commit := func() error {
+		fail := func(err error) error {
+			f.Close()          //lightvet:ignore hygiene -- already failing; best-effort cleanup
+			os.Remove(tmpName) //lightvet:ignore hygiene -- already failing; best-effort cleanup
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return fail(err)
+		}
+		if err := f.Sync(); err != nil {
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmpName) //lightvet:ignore hygiene -- already failing; best-effort cleanup
+			return err
+		}
+		if err := os.Rename(tmpName, path); err != nil {
+			os.Remove(tmpName) //lightvet:ignore hygiene -- already failing; best-effort cleanup
+			return err
+		}
+		return nil
+	}
+	return bw, commit, nil
 }
 
 func loadGraph(arg string, scale int) (*light.Graph, error) {

@@ -11,6 +11,7 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -220,6 +221,54 @@ func (e *Enumerator) Snapshot(sigmaIdx int, candidates []graph.VertexID) *Frame 
 		}
 	}
 	return f
+}
+
+// Validate checks that f is structurally consistent with pl and g —
+// SigmaIdx resumes a MAT, every vertex id is in range, the mask fits
+// the pattern, and no candidate set exceeds the per-vertex buffers
+// Resume copies into. Frames deserialized from a checkpoint must pass
+// it before Resume, so a corrupt or mismatched file cannot index out
+// of bounds or silently truncate candidate sets.
+func (f *Frame) Validate(pl *plan.Plan, g *graph.Graph) error {
+	n := pl.Pattern.NumVertices()
+	if f.SigmaIdx < 1 || f.SigmaIdx >= len(pl.Sigma) {
+		return fmt.Errorf("engine: frame resumes σ[%d] of %d ops", f.SigmaIdx, len(pl.Sigma))
+	}
+	if pl.Sigma[f.SigmaIdx].Mode != plan.Mat {
+		return fmt.Errorf("engine: frame resumes σ[%d], which is not a MAT", f.SigmaIdx)
+	}
+	if len(f.Assigned) != n {
+		return fmt.Errorf("engine: frame assigns %d of %d pattern vertices", len(f.Assigned), n)
+	}
+	if n < 32 && f.MatMask >= 1<<uint(n) {
+		return fmt.Errorf("engine: frame mask %#x exceeds pattern size %d", f.MatMask, n)
+	}
+	if len(f.Cands) != n {
+		return fmt.Errorf("engine: frame carries %d of %d candidate sets", len(f.Cands), n)
+	}
+	nv := int64(g.NumVertices())
+	dmax := g.MaxDegree()
+	for u, vs := range f.Cands {
+		if len(vs) > dmax {
+			return fmt.Errorf("engine: frame candidate set %d has %d vertices, graph d_max is %d", u, len(vs), dmax)
+		}
+		for _, v := range vs {
+			if int64(v) >= nv {
+				return fmt.Errorf("engine: frame candidate %d out of range (|V|=%d)", v, nv)
+			}
+		}
+	}
+	for m := f.MatMask; m != 0; m &= m - 1 {
+		if v := f.Assigned[trailingZeros32(m)]; int64(v) >= nv {
+			return fmt.Errorf("engine: frame assignment %d out of range (|V|=%d)", v, nv)
+		}
+	}
+	for _, v := range f.Remaining {
+		if int64(v) >= nv {
+			return fmt.Errorf("engine: frame remaining candidate %d out of range (|V|=%d)", v, nv)
+		}
+	}
+	return nil
 }
 
 // candLiveAt reports whether C(u) computed before σ[sigmaIdx] is still

@@ -1,0 +1,101 @@
+//go:build faultinject
+
+package faultpoint
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// armed counts registered hooks so Hit can take a lock-free fast path
+// while the registry is empty (the common state even in chaos builds).
+var armed atomic.Int32
+
+var (
+	mu     sync.Mutex
+	points = map[string]func() error{}
+)
+
+// Enabled reports whether fault injection is compiled into this binary.
+func Enabled() bool { return true }
+
+// Set registers fn to run at every Hit(name). A nil fn clears the
+// point. Replacing an existing hook keeps the registry size stable.
+func Set(name string, fn func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	_, had := points[name]
+	if fn == nil {
+		if had {
+			delete(points, name)
+			armed.Add(-1)
+		}
+		return
+	}
+	points[name] = fn
+	if !had {
+		armed.Add(1)
+	}
+}
+
+// Clear removes the hook at name, if any.
+func Clear(name string) { Set(name, nil) }
+
+// Reset removes every registered hook. Chaos tests defer it so one
+// test's faults never leak into the next.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(points)))
+	clear(points)
+}
+
+// Hit runs the hook registered at name. With no hook registered it
+// returns nil after a single atomic load.
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	fn := points[name]
+	mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// PanicOnce returns a hook that panics with msg on its first firing and
+// is inert afterwards — the injected crash happens exactly once even if
+// several workers pass the point.
+func PanicOnce(msg string) func() error {
+	var done atomic.Bool
+	return func() error {
+		if done.CompareAndSwap(false, true) {
+			panic(msg)
+		}
+		return nil
+	}
+}
+
+// FailTimes returns a hook that returns err for the first n firings and
+// nil afterwards.
+func FailTimes(n int, err error) func() error {
+	var count atomic.Int64
+	return func() error {
+		if count.Add(1) <= int64(n) {
+			return err
+		}
+		return nil
+	}
+}
+
+// Delay returns a hook that sleeps for d on every firing and never
+// fails — for widening race windows under -race.
+func Delay(d time.Duration) func() error {
+	return func() error {
+		time.Sleep(d)
+		return nil
+	}
+}

@@ -1,0 +1,96 @@
+//go:build faultinject
+
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryLifecycle(t *testing.T) {
+	defer Reset()
+	if !Enabled() {
+		t.Fatal("faultinject build must report Enabled")
+	}
+	if err := Hit("nope"); err != nil {
+		t.Fatalf("unregistered point fired: %v", err)
+	}
+	boom := errors.New("boom")
+	Set("a", func() error { return boom })
+	if err := Hit("a"); !errors.Is(err, boom) {
+		t.Fatalf("Hit(a) = %v, want boom", err)
+	}
+	if err := Hit("b"); err != nil {
+		t.Fatalf("sibling point fired: %v", err)
+	}
+	Clear("a")
+	if err := Hit("a"); err != nil {
+		t.Fatalf("cleared point fired: %v", err)
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed = %d after clear, want 0", armed.Load())
+	}
+	Set("a", func() error { return boom })
+	Set("a", func() error { return nil }) // replace must not double-arm
+	if armed.Load() != 1 {
+		t.Fatalf("armed = %d after replace, want 1", armed.Load())
+	}
+	Reset()
+	if armed.Load() != 0 {
+		t.Fatalf("armed = %d after Reset, want 0", armed.Load())
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	defer Reset()
+	pan := PanicOnce("once")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PanicOnce did not panic on first call")
+			}
+		}()
+		pan() //lightvet:ignore hygiene -- the panic is the result under test
+	}()
+	if err := pan(); err != nil {
+		t.Fatalf("PanicOnce second call: %v", err)
+	}
+
+	boom := errors.New("io down")
+	ft := FailTimes(2, boom)
+	if err := ft(); !errors.Is(err, boom) {
+		t.Fatal("FailTimes first call should fail")
+	}
+	if err := ft(); !errors.Is(err, boom) {
+		t.Fatal("FailTimes second call should fail")
+	}
+	if err := ft(); err != nil {
+		t.Fatalf("FailTimes third call: %v", err)
+	}
+
+	start := time.Now()
+	if err := Delay(5 * time.Millisecond)(); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("Delay returned early")
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	defer Reset()
+	Set("p", FailTimes(100, errors.New("x")))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				Hit("p") //lightvet:ignore hygiene -- errors expected and irrelevant here
+			}
+		}()
+	}
+	wg.Wait()
+}

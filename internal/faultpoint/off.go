@@ -1,0 +1,20 @@
+//go:build !faultinject
+
+package faultpoint
+
+// Enabled reports whether fault injection is compiled into this binary.
+// In the default build it is not, and every other function here is a
+// no-op the compiler can erase.
+func Enabled() bool { return false }
+
+// Set is a no-op in production builds.
+func Set(name string, fn func() error) {}
+
+// Clear is a no-op in production builds.
+func Clear(name string) {}
+
+// Reset is a no-op in production builds.
+func Reset() {}
+
+// Hit reports no fault; in production builds it compiles to nothing.
+func Hit(name string) error { return nil }

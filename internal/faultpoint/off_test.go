@@ -1,0 +1,23 @@
+//go:build !faultinject
+
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestProductionBuildIsInert proves the default build never fires a
+// hook: Set is a no-op and Hit always reports no fault, so the
+// injection sites in the engine cost one call that returns nil.
+func TestProductionBuildIsInert(t *testing.T) {
+	if Enabled() {
+		t.Fatal("production build must not report Enabled")
+	}
+	Set(PointWorkerStart, func() error { return errors.New("boom") })
+	defer Reset()
+	if err := Hit(PointWorkerStart); err != nil {
+		t.Fatalf("production Hit fired a hook: %v", err)
+	}
+	Clear(PointWorkerStart)
+}

@@ -1,0 +1,27 @@
+// Package faultpoint is a named fault-injection-point registry for
+// chaos testing the enumeration runtime. Production code calls
+// Hit(name) at the places where faults matter (worker start, work
+// donation, frame resume, checkpoint write, CSR read); chaos tests
+// built with the "faultinject" tag register hooks at those names that
+// panic, sleep, or fail. In the default build every function in this
+// package compiles to a no-op, so the injection sites cost nothing.
+package faultpoint
+
+// Canonical injection-point names. Production call sites and chaos
+// tests refer to these constants so they cannot drift apart.
+const (
+	// PointWorkerStart fires as each parallel worker begins, before it
+	// claims any work.
+	PointWorkerStart = "parallel.worker.start"
+	// PointDonate fires inside the donation hook while the scheduler
+	// lock is held, just before a frame is snapshotted and published.
+	PointDonate = "parallel.donate"
+	// PointFrameResume fires after a worker takes a donated frame from
+	// the queue and before it resumes execution.
+	PointFrameResume = "parallel.frame.resume"
+	// PointCheckpointWrite fires at the start of every checkpoint file
+	// write (periodic and final).
+	PointCheckpointWrite = "supervise.checkpoint.write"
+	// PointCSRRead fires at the start of binary CSR deserialization.
+	PointCSRRead = "graph.csr.read"
+)

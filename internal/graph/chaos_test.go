@@ -1,0 +1,35 @@
+//go:build faultinject
+
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"light/internal/faultpoint"
+)
+
+// TestChaosCSRReadFailure: an injected I/O error at the CSR read point
+// surfaces as an ordinary load error, and the codec recovers once the
+// fault clears.
+func TestChaosCSRReadFailure(t *testing.T) {
+	defer faultpoint.Reset()
+	g := FromAdjacency([][]VertexID{{1, 2}, {0}, {0}})
+	var buf bytes.Buffer
+	if err := g.WriteCSR(&buf); err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("injected read failure")
+	faultpoint.Set(faultpoint.PointCSRRead, faultpoint.FailTimes(1, injected))
+	if _, err := ReadCSR(bytes.NewReader(buf.Bytes())); !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want injected read failure", err)
+	}
+	got, err := ReadCSR(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("fault cleared but read still fails: %v", err)
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip mismatch after fault cleared")
+	}
+}

@@ -75,5 +75,18 @@ func FuzzCSRRoundTrip(f *testing.F) {
 		if !bytes.Equal(out.Bytes(), again.Bytes()) {
 			t.Fatal("WriteCSR is not byte-stable across a round trip")
 		}
+		// The canonical (v2, CRC-trailed) encoding must reject any
+		// single-byte corruption, wherever it lands.
+		canon := out.Bytes()
+		for _, pos := range []int{0, len(canon) / 2, len(canon) - 5, len(canon) - 1} {
+			if pos < 0 || pos >= len(canon) {
+				continue
+			}
+			mut := append([]byte(nil), canon...)
+			mut[pos] ^= 0x55
+			if _, err := ReadCSR(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("flip at byte %d of canonical encoding accepted", pos)
+			}
+		}
 	})
 }

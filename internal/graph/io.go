@@ -5,10 +5,13 @@ import (
 	"compress/gzip"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+
+	"light/internal/faultpoint"
 )
 
 // ReadEdgeList parses a whitespace-separated edge-list stream: one
@@ -71,15 +74,22 @@ func LoadEdgeList(path string) (*Graph, error) {
 	return Reorder(g), nil
 }
 
-// csrMagic identifies the binary CSR format.
-const csrMagic = 0x4c494748 // "LIGH"
+// csrMagic identifies the binary CSR format. Version 2 appends a CRC32
+// (IEEE) trailer over everything before it; version 1 files (no
+// trailer) are still accepted for compatibility with old gengraph
+// output.
+const (
+	csrMagic   = 0x4c494748 // "LIGH"
+	csrVersion = 2
+)
 
 // WriteCSR serializes the graph in a compact little-endian binary format:
-// magic, version, N, then N+1 offsets (uint64) and 2M neighbor IDs
-// (uint32).
+// magic, version, N, then N+1 offsets (uint64), 2M neighbor IDs
+// (uint32), and a CRC32 trailer over all preceding bytes.
 func (g *Graph) WriteCSR(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	hdr := [4]uint64{csrMagic, 1, uint64(g.NumVertices()), uint64(len(g.adj))}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
+	hdr := [4]uint64{csrMagic, csrVersion, uint64(g.NumVertices()), uint64(len(g.adj))}
 	for _, x := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, x); err != nil {
 			return err
@@ -107,22 +117,41 @@ func (g *Graph) WriteCSR(w io.Writer) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	// The trailer must not feed the CRC writer, so flush the buffered
+	// payload through the MultiWriter first and write the sum directly.
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	_, err := w.Write(trailer[:])
+	return err
 }
 
-// ReadCSR deserializes a graph written by WriteCSR.
+// ReadCSR deserializes a graph written by WriteCSR, verifying the CRC32
+// trailer on version-2 files (version 1 has none and is accepted as
+// legacy). The CRC runs over the payload bytes as they are parsed, so
+// verification is streaming — corruption detection costs no extra pass
+// or whole-file buffering.
 func ReadCSR(r io.Reader) (*Graph, error) {
+	if err := faultpoint.Hit(faultpoint.PointCSRRead); err != nil {
+		return nil, fmt.Errorf("graph: reading CSR: %w", err)
+	}
+	crc := crc32.NewIEEE()
 	br := bufio.NewReaderSize(r, 1<<20)
 	var hdr [4]uint64
+	var hdrBytes [32]byte
+	if _, err := io.ReadFull(br, hdrBytes[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading CSR header: %w", err)
+	}
+	crc.Write(hdrBytes[:]) //lightvet:ignore hygiene -- crc32 Write cannot fail
 	for i := range hdr {
-		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
-			return nil, fmt.Errorf("graph: reading CSR header: %w", err)
-		}
+		hdr[i] = binary.LittleEndian.Uint64(hdrBytes[8*i:])
 	}
 	if hdr[0] != csrMagic {
 		return nil, fmt.Errorf("graph: bad CSR magic %#x", hdr[0])
 	}
-	if hdr[1] != 1 {
+	if hdr[1] != 1 && hdr[1] != csrVersion {
 		return nil, fmt.Errorf("graph: unsupported CSR version %d", hdr[1])
 	}
 	// Sanity-cap the header sizes before converting to int, so a
@@ -151,6 +180,7 @@ func ReadCSR(r io.Reader) (*Graph, error) {
 		if _, err := io.ReadFull(br, buf[:8*cnt]); err != nil {
 			return nil, fmt.Errorf("graph: reading CSR offsets: %w", err)
 		}
+		crc.Write(buf[:8*cnt]) //lightvet:ignore hygiene -- crc32 Write cannot fail
 		for j := 0; j < cnt; j++ {
 			x := binary.LittleEndian.Uint64(buf[8*j:])
 			g.offsets = append(g.offsets, int64(x)) //lightvet:ignore indexsafety -- Validate below rejects negative or out-of-range offsets
@@ -170,10 +200,20 @@ func ReadCSR(r io.Reader) (*Graph, error) {
 		if _, err := io.ReadFull(br, buf[:4*cnt]); err != nil {
 			return nil, fmt.Errorf("graph: reading CSR adjacency: %w", err)
 		}
+		crc.Write(buf[:4*cnt]) //lightvet:ignore hygiene -- crc32 Write cannot fail
 		for j := 0; j < cnt; j++ {
 			g.adj = append(g.adj, binary.LittleEndian.Uint32(buf[4*j:]))
 		}
 		remaining -= cnt
+	}
+	if hdr[1] == csrVersion {
+		var trailer [4]byte
+		if _, err := io.ReadFull(br, trailer[:]); err != nil {
+			return nil, fmt.Errorf("graph: reading CSR trailer: %w", err)
+		}
+		if got, want := crc.Sum32(), binary.LittleEndian.Uint32(trailer[:]); got != want {
+			return nil, fmt.Errorf("graph: corrupt CSR payload: CRC %#x, want %#x", got, want)
+		}
 	}
 	g.finalize()
 	if err := g.Validate(); err != nil {

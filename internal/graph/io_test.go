@@ -74,15 +74,35 @@ func TestReadCSRRejectsCorruption(t *testing.T) {
 		corrupted := append([]byte(nil), orig...)
 		pos := rng.Intn(len(corrupted))
 		corrupted[pos] ^= byte(1 + rng.Intn(255))
-		got, err := ReadCSR(bytes.NewReader(corrupted))
-		if err != nil {
-			continue // rejected: good
+		// Version 2 carries a CRC32 trailer: any single-byte change —
+		// header, payload, or trailer — must be rejected outright.
+		if _, err := ReadCSR(bytes.NewReader(corrupted)); err == nil {
+			t.Fatalf("trial %d: flip at byte %d accepted", trial, pos)
 		}
-		// Accepted: the flip must have been semantically harmless — the
-		// graph still passes full validation.
-		if verr := got.Validate(); verr != nil {
-			t.Fatalf("trial %d: corrupted CSR accepted but invalid: %v", trial, verr)
-		}
+	}
+}
+
+// TestReadCSRLegacyV1 verifies version-1 files (no CRC trailer) are
+// still readable, and that a v1 file claiming version 2 is rejected
+// (its last four payload bytes would be misread as a trailer).
+func TestReadCSRLegacyV1(t *testing.T) {
+	g := FromAdjacency([][]VertexID{{1, 2}, {0}, {0}})
+	var buf bytes.Buffer
+	if err := g.WriteCSR(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1 := append([]byte(nil), buf.Bytes()[:buf.Len()-4]...) // strip trailer
+	v1[8] = 1                                               // version field
+	got, err := ReadCSR(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("legacy v1 rejected: %v", err)
+	}
+	if got.NumEdges() != g.NumEdges() || got.NumVertices() != g.NumVertices() {
+		t.Fatalf("legacy v1 round trip mismatch: %v", got)
+	}
+	v1[8] = 2 // v2 without a real trailer must fail the CRC or length check
+	if _, err := ReadCSR(bytes.NewReader(v1)); err == nil {
+		t.Fatal("trailerless v2 accepted")
 	}
 }
 

@@ -17,6 +17,11 @@ import (
 //     a lock (the condition's guarding mutex cannot be held),
 //   - go statements in functions with no WaitGroup use and no channel
 //     operation in scope (nothing can wait for or stop the goroutine).
+//
+// Goroutines launched through supervise.Go are supervised by
+// construction (the helper registers them with a WaitGroup and recovers
+// panics), so a supervise.Go call counts as WaitGroup evidence in its
+// scope.
 var Concurrency = &Analyzer{
 	Name: "concurrency",
 	Doc:  "lock copies, mixed atomic access, unguarded Cond wakeups, unsupervised goroutines",
@@ -289,6 +294,9 @@ func checkScope(pkg *Package, body *ast.BlockStmt) []Finding {
 			if isCloseCall(info, node) {
 				channelOps = true
 			}
+			if isSuperviseGo(info, node) {
+				waitGroup = true
+			}
 			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
 				recv := methodRecvNamed(info, sel)
 				switch {
@@ -367,6 +375,9 @@ func scanCoordination(info *types.Info, n ast.Node) (waitGroup, channelOps bool)
 			if isCloseCall(info, node) {
 				channelOps = true
 			}
+			if isSuperviseGo(info, node) {
+				waitGroup = true
+			}
 			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
 				if methodRecvNamed(info, sel) == "sync.WaitGroup" {
 					waitGroup = true
@@ -376,6 +387,22 @@ func scanCoordination(info *types.Info, n ast.Node) (waitGroup, channelOps bool)
 		return true
 	})
 	return waitGroup, channelOps
+}
+
+// isSuperviseGo reports whether the call is supervise.Go — the
+// project's panic-isolating goroutine launcher, which registers the
+// goroutine with a WaitGroup itself.
+func isSuperviseGo(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Go" {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[x].(*types.PkgName)
+	return ok && pn.Imported().Name() == "supervise"
 }
 
 // methodRecvNamed returns "pkg.Type" for a method call's receiver type

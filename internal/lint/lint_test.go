@@ -19,6 +19,7 @@ import (
 // fixture is reported as an unexpected finding.
 var fixturePkgs = []string{
 	"hotpath_bad", "hotpath_clean",
+	"supervise", // stub dependency; must precede its importers
 	"concurrency_bad", "concurrency_clean",
 	"indexsafety_bad", "indexsafety_clean",
 	"hygiene_bad", "hygiene_clean",

@@ -5,6 +5,8 @@ package cc
 import (
 	"sync"
 	"sync/atomic"
+
+	"fixture/supervise"
 )
 
 // Pool carries scheduler state behind a pointer everywhere.
@@ -68,4 +70,20 @@ func Stream(n int) <-chan int {
 		close(out)
 	}()
 	return out
+}
+
+// RunSupervised launches a worker through the supervised launcher. The
+// launcher registers the goroutine with the caller's WaitGroup itself,
+// so the raw sibling goroutine in the same scope counts as coordinated.
+func RunSupervised(p *Pool, wg *sync.WaitGroup) {
+	supervise.Go(wg, "worker", func(error) {}, func() { p.Bump() })
+	go p.Bump()
+}
+
+// Monitor wraps a supervised fan-out inside its own goroutine; the
+// supervise.Go call in the body is its coordination evidence.
+func Monitor(p *Pool, wg *sync.WaitGroup) {
+	go func() {
+		supervise.Go(wg, "inner", func(error) {}, func() { p.Bump() })
+	}()
 }

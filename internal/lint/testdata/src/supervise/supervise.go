@@ -1,0 +1,18 @@
+// Package supervise is a fixture stub of the project's supervision
+// helpers, just enough surface for the concurrency analyzer to resolve
+// supervise.Go calls.
+package supervise
+
+import "sync"
+
+// Go mimics the real launcher's signature: it registers fn with wg and
+// recovers panics into onErr.
+func Go(wg *sync.WaitGroup, where string, onErr func(error), fn func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fn()
+	}()
+	_ = where
+	_ = onErr
+}

@@ -1,0 +1,229 @@
+//go:build faultinject
+
+package parallel
+
+import (
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"light/internal/faultpoint"
+	"light/internal/gen"
+	"light/internal/graph"
+	"light/internal/pattern"
+	"light/internal/plan"
+	"light/internal/supervise"
+)
+
+// chaosRun executes a WorkStealing run with the current fault registry
+// and a watchdog: a deadlocked pool fails the test rather than hanging
+// the suite.
+func chaosRun(t *testing.T, g *graph.Graph, pl *plan.Plan, opts Options, visit func(m []graph.VertexID) bool) (Result, error) {
+	t.Helper()
+	type outcome struct {
+		res Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := Run(g, pl, opts, visit)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-time.After(60 * time.Second):
+		t.Fatal("pool deadlocked under injected fault")
+		return Result{}, nil
+	}
+}
+
+func chaosFixture(t *testing.T) (*graph.Graph, *plan.Plan, uint64) {
+	t.Helper()
+	g := gen.BarabasiAlbert(400, 6, 21)
+	pl := compile(t, pattern.Triangle(), plan.ModeLIGHT)
+	return g, pl, sequentialCount(t, g, pl)
+}
+
+// TestChaosPanicAtEachPoint injects a one-shot panic at every scheduler
+// faultpoint in turn: each must surface as a *supervise.PanicError with
+// all workers exited cleanly — never a crash or deadlock.
+func TestChaosPanicAtEachPoint(t *testing.T) {
+	g, pl, _ := chaosFixture(t)
+	points := []string{
+		faultpoint.PointWorkerStart,
+		faultpoint.PointDonate,
+		faultpoint.PointFrameResume,
+		faultpoint.PointCheckpointWrite,
+	}
+	for _, point := range points {
+		t.Run(point, func(t *testing.T) {
+			defer faultpoint.Reset()
+			faultpoint.Set(point, faultpoint.PanicOnce("chaos: "+point))
+			opts := Options{Workers: 4, ChunkSize: 8, MinSplit: 2}
+			if point == faultpoint.PointCheckpointWrite {
+				opts.Checkpoint = &CheckpointOptions{
+					Path:     filepath.Join(t.TempDir(), "state.ckpt"),
+					Interval: time.Hour,
+				}
+			}
+			_, err := chaosRun(t, g, pl, opts, nil)
+			var pe *supervise.PanicError
+			if !errors.As(err, &pe) {
+				// Donation and frame resume only fire when stealing actually
+				// happens; on a small graph the run may finish without ever
+				// reaching the point. That is a clean pass, not a miss.
+				if err == nil && (point == faultpoint.PointDonate || point == faultpoint.PointFrameResume) {
+					t.Skipf("point %s never reached in this run", point)
+				}
+				t.Fatalf("err = %v, want *supervise.PanicError", err)
+			}
+		})
+	}
+}
+
+// TestChaosWorkerStartFailure: an injected error at worker start must
+// abort the run with that error and no deadlock of the remaining
+// workers.
+func TestChaosWorkerStartFailure(t *testing.T) {
+	defer faultpoint.Reset()
+	g, pl, _ := chaosFixture(t)
+	injected := errors.New("injected start failure")
+	faultpoint.Set(faultpoint.PointWorkerStart, faultpoint.FailTimes(2, injected))
+	_, err := chaosRun(t, g, pl, Options{Workers: 4, ChunkSize: 8}, nil)
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want injected start failure", err)
+	}
+}
+
+// TestChaosFrameResumeFailure: an injected I/O-style error when a
+// worker picks up a stolen frame stops the pool with that error.
+func TestChaosFrameResumeFailure(t *testing.T) {
+	defer faultpoint.Reset()
+	// A dense graph with tiny chunks: workers exhaust the root cursor
+	// quickly and go hungry while others still hold big loops, so
+	// donation (and therefore frame resume) is all but guaranteed.
+	g := gen.Complete(80)
+	pl := compile(t, pattern.Triangle(), plan.ModeLIGHT)
+	injected := errors.New("injected resume failure")
+	faultpoint.Set(faultpoint.PointFrameResume, faultpoint.FailTimes(1, injected))
+	res, err := chaosRun(t, g, pl, Options{Workers: 8, ChunkSize: 1, MinSplit: 2}, nil)
+	if err == nil {
+		// No donation happened, so the point never fired; the run must
+		// then have completed correctly.
+		if res.Steals != 0 {
+			t.Fatalf("frames were stolen yet the injected error vanished")
+		}
+		t.Skip("no donation in this run")
+	}
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want injected resume failure", err)
+	}
+}
+
+// TestChaosDonationFailureIsSkipped: a failing donation point is
+// optional work — the donor keeps its loop and the total stays exact.
+func TestChaosDonationFailureIsSkipped(t *testing.T) {
+	defer faultpoint.Reset()
+	g, pl, want := chaosFixture(t)
+	faultpoint.Set(faultpoint.PointDonate, faultpoint.FailTimes(1<<30, errors.New("donation vetoed")))
+	res, err := chaosRun(t, g, pl, Options{Workers: 4, ChunkSize: 8, MinSplit: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != want {
+		t.Fatalf("count %d, want %d", res.Matches, want)
+	}
+	if res.Donations != 0 {
+		t.Fatalf("vetoed donations still published %d frames", res.Donations)
+	}
+}
+
+// TestChaosDelayAtDonation widens the donation race window under -race
+// without changing semantics: the count must stay exact.
+func TestChaosDelayAtDonation(t *testing.T) {
+	defer faultpoint.Reset()
+	g, pl, want := chaosFixture(t)
+	faultpoint.Set(faultpoint.PointDonate, faultpoint.Delay(500*time.Microsecond))
+	faultpoint.Set(faultpoint.PointFrameResume, faultpoint.Delay(200*time.Microsecond))
+	res, err := chaosRun(t, g, pl, Options{Workers: 8, ChunkSize: 4, MinSplit: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != want {
+		t.Fatalf("count %d, want %d", res.Matches, want)
+	}
+}
+
+// TestChaosCheckpointWriteFailure: when every checkpoint write fails,
+// the run still finishes and surfaces the write error; when only the
+// periodic writes fail, the final checkpoint supersedes them and the
+// file stays usable.
+func TestChaosCheckpointWriteFailure(t *testing.T) {
+	defer faultpoint.Reset()
+	g, pl, want := chaosFixture(t)
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	injected := errors.New("injected write failure")
+	faultpoint.Set(faultpoint.PointCheckpointWrite, faultpoint.FailTimes(1<<30, injected))
+	res, err := chaosRun(t, g, pl, Options{
+		Workers:    4,
+		Checkpoint: &CheckpointOptions{Path: path, Interval: time.Hour},
+	}, nil)
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want injected write failure", err)
+	}
+	if res.Matches != want {
+		t.Fatalf("count %d, want %d (write failures must not lose results)", res.Matches, want)
+	}
+
+	// Now let only the first write fail. If the run outlives the first
+	// periodic tick, the transient failure lands there and the final
+	// write supersedes it: no error, usable Complete checkpoint. (On a
+	// machine fast enough to finish before the tick, the transient hits
+	// the final write instead — nothing left to assert.)
+	faultpoint.Reset()
+	transient := errors.New("transient")
+	faultpoint.Set(faultpoint.PointCheckpointWrite, faultpoint.FailTimes(1, transient))
+	res, err = chaosRun(t, g, pl, Options{
+		Workers:    4,
+		Checkpoint: &CheckpointOptions{Path: path, Interval: time.Millisecond},
+	}, nil)
+	if err != nil {
+		if !errors.Is(err, transient) {
+			t.Fatal(err)
+		}
+		t.Skip("run finished before the first periodic tick")
+	}
+	if res.Matches != want {
+		t.Fatalf("count %d, want %d", res.Matches, want)
+	}
+	ck, err := supervise.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("final checkpoint unreadable after transient write failure: %v", err)
+	}
+	if !ck.Complete || ck.Base.Matches != want {
+		t.Fatalf("final checkpoint complete=%v matches=%d, want complete with %d", ck.Complete, ck.Base.Matches, want)
+	}
+}
+
+// TestChaosPanicInVisitorDuringSteals combines stealing pressure with a
+// visitor panic to exercise the donation lock's defer-unlock path.
+func TestChaosPanicInVisitorDuringSteals(t *testing.T) {
+	defer faultpoint.Reset()
+	g, pl, _ := chaosFixture(t)
+	faultpoint.Set(faultpoint.PointDonate, faultpoint.Delay(100*time.Microsecond))
+	var seen atomic.Uint64
+	_, err := chaosRun(t, g, pl, Options{Workers: 8, ChunkSize: 4, MinSplit: 2},
+		func(m []graph.VertexID) bool {
+			if seen.Add(1) == 50 {
+				panic("visitor chaos")
+			}
+			return true
+		})
+	var pe *supervise.PanicError
+	if !errors.As(err, &pe) || pe.Value != "visitor chaos" {
+		t.Fatalf("err = %v, want visitor panic", err)
+	}
+}

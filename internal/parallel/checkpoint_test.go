@@ -1,0 +1,232 @@
+package parallel
+
+import (
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"light/internal/gen"
+	"light/internal/graph"
+	"light/internal/pattern"
+	"light/internal/plan"
+	"light/internal/supervise"
+)
+
+// interruptResume interrupts a checkpointed run every stopAfter matches
+// (via the visitor's early-stop path — equivalent to a kill between
+// checkpoint writes) and resumes it from the file until it completes,
+// asserting the final total matches an uninterrupted sequential run.
+func interruptResume(t *testing.T, g *graph.Graph, pl *plan.Plan, sched Scheduler, stopAfter uint64) {
+	t.Helper()
+	want := sequentialCount(t, g, pl)
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	opts := Options{
+		Workers:   4,
+		Scheduler: sched,
+		ChunkSize: 16,
+		// Only the final on-stop snapshot is written; the interrupt point
+		// is controlled entirely by the visitor.
+		Checkpoint: &CheckpointOptions{Path: path, Interval: time.Hour},
+	}
+	var res Result
+	var err error
+	interruptions := 0
+	for attempt := 0; ; attempt++ {
+		if attempt > 200 {
+			t.Fatal("no forward progress across 200 interrupted runs")
+		}
+		runOpts := opts
+		if attempt > 0 {
+			ck, lerr := supervise.LoadCheckpoint(path)
+			if lerr != nil {
+				t.Fatalf("attempt %d: %v", attempt, lerr)
+			}
+			runOpts.Resume = ck
+		}
+		// Commit granularity is one chunk: if a single chunk holds more
+		// than stopAfter matches, a fixed budget would re-kill inside it
+		// forever. Growing the budget models each retry living longer and
+		// guarantees convergence.
+		budget := stopAfter
+		if attempt < 40 {
+			budget <<= uint(attempt / 4)
+		} else {
+			budget = 1 << 40
+		}
+		var seen atomic.Uint64
+		res, err = Run(g, pl, runOpts, func(m []graph.VertexID) bool {
+			return seen.Add(1) < budget
+		})
+		if err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		if !res.Stopped {
+			break
+		}
+		interruptions++
+	}
+	if res.Matches != want {
+		t.Fatalf("resumed total %d, uninterrupted total %d (after %d interruptions)",
+			res.Matches, want, interruptions)
+	}
+	if interruptions == 0 {
+		t.Fatalf("run was never interrupted (stopAfter=%d too large for this workload)", stopAfter)
+	}
+	// One more resume from the Complete checkpoint must return the full
+	// total immediately with no further enumeration.
+	ck, lerr := supervise.LoadCheckpoint(path)
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	if !ck.Complete {
+		t.Fatal("final checkpoint not marked Complete")
+	}
+	final := opts
+	final.Resume = ck
+	res2, err := Run(g, pl, final, func(m []graph.VertexID) bool {
+		t.Error("resume of a Complete checkpoint re-enumerated matches")
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Matches != want {
+		t.Fatalf("complete-checkpoint resume returned %d, want %d", res2.Matches, want)
+	}
+}
+
+// TestKillAndResumeExactCounts is the integration guarantee: kill-and-
+// resume cycles converge to exactly the uninterrupted total, across
+// pattern/dataset pairs and both resumable schedulers.
+func TestKillAndResumeExactCounts(t *testing.T) {
+	cases := []struct {
+		name      string
+		g         *graph.Graph
+		p         *pattern.Pattern
+		stopAfter uint64
+	}{
+		{"triangle-ba", gen.BarabasiAlbert(500, 6, 11), pattern.Triangle(), 300},
+		{"p4-rmat", gen.RMAT(9, 6, 5), pattern.P4(), 500},
+		{"clique4-ba", gen.BarabasiAlbert(300, 8, 2), pattern.Clique(4), 200},
+	}
+	for _, sched := range []Scheduler{WorkStealing, RootChunk} {
+		for _, tc := range cases {
+			t.Run(sched.String()+"/"+tc.name, func(t *testing.T) {
+				pl := compile(t, tc.p, plan.ModeLIGHT)
+				interruptResume(t, tc.g, pl, sched, tc.stopAfter)
+			})
+		}
+	}
+}
+
+// TestCheckpointFingerprintMismatch: a checkpoint from one (graph,
+// pattern) pair must refuse to resume any other.
+func TestCheckpointFingerprintMismatch(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 5, 3)
+	pl := compile(t, pattern.Triangle(), plan.ModeLIGHT)
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	var seen atomic.Uint64
+	_, err := Run(g, pl, Options{
+		Workers:    2,
+		Checkpoint: &CheckpointOptions{Path: path, Interval: time.Hour},
+	}, func(m []graph.VertexID) bool { return seen.Add(1) < 50 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := supervise.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherPl := compile(t, pattern.P4(), plan.ModeLIGHT)
+	if _, err := Run(g, otherPl, Options{Workers: 2, Resume: ck}, nil); err == nil {
+		t.Fatal("resume with a different pattern accepted")
+	}
+	otherG := gen.BarabasiAlbert(301, 5, 3)
+	if _, err := Run(otherG, pl, Options{Workers: 2, Resume: ck}, nil); err == nil {
+		t.Fatal("resume with a different graph accepted")
+	}
+}
+
+// TestStaticPartitionRejectsCheckpointing: the no-rebalancing baseline
+// has no chunk accounting, so both checkpointing and resuming must be
+// refused up front.
+func TestStaticPartitionRejectsCheckpointing(t *testing.T) {
+	g := gen.Star(100)
+	pl := compile(t, pattern.Triangle(), plan.ModeLIGHT)
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	_, err := Run(g, pl, Options{
+		Workers:    2,
+		Scheduler:  StaticPartition,
+		Checkpoint: &CheckpointOptions{Path: path},
+	}, nil)
+	if err == nil {
+		t.Fatal("StaticPartition accepted a checkpoint config")
+	}
+	if _, err := Run(g, pl, Options{Workers: 2, Scheduler: StaticPartition, Resume: &supervise.Checkpoint{}}, nil); err == nil {
+		t.Fatal("StaticPartition accepted a resume")
+	}
+}
+
+// TestCheckpointOfCompletedRun: an uninterrupted checkpointed run
+// writes a Complete checkpoint whose base equals the full count.
+func TestCheckpointOfCompletedRun(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 5, 9)
+	pl := compile(t, pattern.Triangle(), plan.ModeLIGHT)
+	want := sequentialCount(t, g, pl)
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	res, err := Run(g, pl, Options{
+		Workers:    4,
+		Checkpoint: &CheckpointOptions{Path: path, Interval: time.Hour},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != want {
+		t.Fatalf("checkpointed run counted %d, want %d", res.Matches, want)
+	}
+	ck, err := supervise.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Complete || ck.Base.Matches != want {
+		t.Fatalf("final checkpoint: complete=%v matches=%d, want complete with %d", ck.Complete, ck.Base.Matches, want)
+	}
+}
+
+func TestMergeRanges(t *testing.T) {
+	rr := func(lo, hi uint32) supervise.RootRange { return supervise.RootRange{Lo: lo, Hi: hi} }
+	got := mergeRanges([]supervise.RootRange{rr(10, 20), rr(0, 5), rr(18, 25), rr(5, 7), rr(30, 31)})
+	want := []supervise.RootRange{rr(0, 7), rr(10, 25), rr(30, 31)}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if mergeRanges(nil) != nil {
+		t.Fatal("empty input must merge to nil")
+	}
+}
+
+func TestPendingRoots(t *testing.T) {
+	rr := func(lo, hi uint32) supervise.RootRange { return supervise.RootRange{Lo: lo, Hi: hi} }
+	got := pendingRoots(10, []supervise.RootRange{rr(2, 4), rr(7, 9)})
+	want := []graph.VertexID{0, 1, 4, 5, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if got := pendingRoots(5, nil); len(got) != 5 {
+		t.Fatalf("no checkpoint: want all 5 roots, got %v", got)
+	}
+	if got := pendingRoots(5, []supervise.RootRange{rr(0, 5)}); len(got) != 0 {
+		t.Fatalf("fully covered: want none, got %v", got)
+	}
+}

@@ -14,17 +14,29 @@
 // Workers never share partial results; each owns an Enumerator with its
 // candidate buffers, so memory stays O(workers · n · d_max) as in the
 // paper's analysis.
+//
+// The package is supervised (see internal/supervise): worker panics —
+// including panics inside user visit callbacks — become ordinary
+// errors that stop the pool cleanly, runs can be cancelled through a
+// context.Context, and WorkStealing/RootChunk runs can periodically
+// checkpoint their committed state to disk and later resume with an
+// exactly-equal total match count.
 package parallel
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"light/internal/engine"
+	"light/internal/faultpoint"
 	"light/internal/graph"
 	"light/internal/plan"
+	"light/internal/supervise"
 )
 
 // Scheduler selects the load-balancing strategy.
@@ -53,6 +65,18 @@ func (s Scheduler) String() string {
 	return "WorkStealing"
 }
 
+// CheckpointOptions configure periodic checkpointing of a run.
+type CheckpointOptions struct {
+	// Path is the checkpoint file. Every write is atomic (temp file +
+	// rename), so the file is always either absent, the previous
+	// checkpoint, or the new one — never a torn mix.
+	Path string
+	// Interval between periodic checkpoints (default 30s). Independent
+	// of the interval, a final checkpoint is written when the run ends,
+	// whether it completed, errored, or was cancelled.
+	Interval time.Duration
+}
+
 // Options configure a parallel run.
 type Options struct {
 	Engine engine.Options
@@ -66,6 +90,16 @@ type Options struct {
 	// MinSplit is the smallest materialization loop a worker will split
 	// for donation (default 8).
 	MinSplit int
+	// Checkpoint, when non-nil, periodically persists the run's
+	// committed state so it can be resumed after a crash or kill.
+	// Requires the WorkStealing or RootChunk scheduler.
+	Checkpoint *CheckpointOptions
+	// Resume, when non-nil, continues a previous run from its
+	// checkpoint: only uncommitted roots and outstanding donated frames
+	// are enumerated, and the checkpoint's committed result is folded
+	// into the returned Result. The plan and graph must match the ones
+	// the checkpoint was written under (verified by fingerprint).
+	Resume *supervise.Checkpoint
 }
 
 func (o Options) withDefaults() Options {
@@ -96,10 +130,19 @@ type Result struct {
 }
 
 // Run enumerates pl over g with opts.Workers workers and returns the
-// combined result. If visit is non-nil it is serialized by a mutex, so
-// enumeration-mode scaling is limited; counting mode (visit == nil) is
-// fully parallel.
+// combined result. It is RunContext with a background context.
 func Run(g *graph.Graph, pl *plan.Plan, opts Options, visit engine.VisitFunc) (Result, error) {
+	return RunContext(context.Background(), g, pl, opts, visit)
+}
+
+// RunContext enumerates pl over g under ctx. Cancellation and ctx
+// deadlines share the engine's stop-flag path: the run unwinds at the
+// next poll, the partial result is returned with Stopped=true, and the
+// error is ctx.Err(). If visit is non-nil it is serialized by a mutex,
+// so enumeration-mode scaling is limited; counting mode (visit == nil)
+// is fully parallel. A panic in visit or in a worker is recovered,
+// stops the pool cleanly, and is returned as a *supervise.PanicError.
+func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options, visit engine.VisitFunc) (Result, error) {
 	opts = opts.withDefaults()
 	// Pin one absolute deadline for the whole run: workers process many
 	// chunks and frames, each of which restarts the engine's clock.
@@ -115,6 +158,7 @@ func Run(g *graph.Graph, pl *plan.Plan, opts Options, visit engine.VisitFunc) (R
 			return inner(m)
 		}
 	}
+	visit, visitErr := supervise.SafeVisit("visit callback", visit)
 
 	p := &pool{
 		g:     g,
@@ -123,24 +167,113 @@ func Run(g *graph.Graph, pl *plan.Plan, opts Options, visit engine.VisitFunc) (R
 		visit: visit,
 	}
 	p.cond = sync.NewCond(&p.mu)
-	n := g.NumVertices()
-	p.roots = make([]graph.VertexID, n)
-	for i := range p.roots {
-		p.roots[i] = graph.VertexID(i)
+
+	var base engine.Result
+	var priorDone []supervise.RootRange
+	if opts.Resume != nil {
+		ck := opts.Resume
+		if opts.Scheduler == StaticPartition {
+			return Result{}, errors.New("parallel: StaticPartition cannot resume a checkpoint")
+		}
+		if fp := supervise.Fingerprint(g, pl); ck.Fingerprint != fp {
+			return Result{}, fmt.Errorf("parallel: checkpoint fingerprint %#x does not match this run (%#x): different graph, pattern, or plan", ck.Fingerprint, fp)
+		}
+		base = ck.Base
+		priorDone = ck.Done
+		if ck.Complete {
+			var out Result
+			out.Workers = opts.Workers
+			out.PerWorkerNodes = make([]uint64, opts.Workers)
+			out.Result = base
+			return out, nil
+		}
+		for _, f := range ck.Frames {
+			if err := f.Validate(pl, g); err != nil {
+				return Result{}, fmt.Errorf("parallel: invalid checkpoint frame: %w", err)
+			}
+		}
+		p.roots = pendingRoots(g.NumVertices(), ck.Done)
+	} else {
+		n := g.NumVertices()
+		p.roots = make([]graph.VertexID, n)
+		for i := range p.roots {
+			p.roots[i] = graph.VertexID(i)
+		}
 	}
+
+	if opts.Checkpoint != nil {
+		if opts.Scheduler == StaticPartition {
+			return Result{}, errors.New("parallel: StaticPartition cannot checkpoint; use WorkStealing or RootChunk")
+		}
+		p.led = newLedger(p.roots, supervise.Fingerprint(g, pl), base, priorDone)
+	}
+	if opts.Resume != nil {
+		for _, f := range opts.Resume.Frames {
+			p.queue = append(p.queue, queuedFrame{f: f, unit: p.led.beginFrame(0, f)})
+		}
+	}
+
+	release := supervise.WatchContext(ctx, func() {
+		p.stop.Store(true)
+		p.wakeAll()
+	})
+	defer release()
 
 	var wg sync.WaitGroup
 	results := make([]engine.Result, opts.Workers)
 	errs := make([]error, opts.Workers)
 	memBytes := make([]int64, opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+		w := w
+		supervise.Go(&wg, fmt.Sprintf("parallel worker %d", w), func(err error) {
+			// Panic path: the worker died without returning. Record the
+			// converted panic and make sure no peer waits for it.
+			errs[w] = err
+			p.stop.Store(true)
+			p.wakeAll()
+		}, func() {
 			results[w], memBytes[w], errs[w] = p.worker(w)
-		}(w)
+			if errs[w] != nil {
+				p.stop.Store(true)
+				p.wakeAll()
+			}
+		})
 	}
+
+	var ckWG sync.WaitGroup
+	var ckStop chan struct{}
+	if opts.Checkpoint != nil {
+		interval := opts.Checkpoint.Interval
+		if interval <= 0 {
+			interval = 30 * time.Second
+		}
+		ckStop = make(chan struct{})
+		supervise.Go(&ckWG, "checkpoint writer", func(err error) {
+			p.led.noteWriteErr(err)
+		}, func() {
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					// A panicking write (e.g. injected faults) must not kill
+					// the process; it is recorded like any write error and
+					// superseded by the next successful write.
+					p.led.noteWriteErr(supervise.Call("checkpoint write", func() error {
+						return p.writeCheckpoint(false)
+					}))
+				case <-ckStop:
+					return
+				}
+			}
+		})
+	}
+
 	wg.Wait()
+	if ckStop != nil {
+		close(ckStop)
+		ckWG.Wait()
+	}
 
 	var out Result
 	out.Workers = opts.Workers
@@ -153,14 +286,65 @@ func Run(g *graph.Graph, pl *plan.Plan, opts Options, visit engine.VisitFunc) (R
 	out.Donations = p.donations.Load()
 	out.Steals = p.steals.Load()
 	out.RootChunksDispensed = p.chunks.Load()
-	var err error
+
+	err := joinErrors(errs)
+	if verr := visitErr(); verr != nil {
+		err = joinErrors([]error{err, verr})
+	}
+	if opts.Checkpoint != nil {
+		complete := err == nil && !out.Stopped
+		werr := supervise.Call("checkpoint write", func() error {
+			return p.writeCheckpoint(complete)
+		})
+		if werr != nil {
+			err = joinErrors([]error{err, werr})
+		}
+	}
+	if err == nil && out.Stopped && ctx != nil && ctx.Err() != nil {
+		err = ctx.Err()
+	}
+	out.Result.Add(base)
+	return out, err
+}
+
+// joinErrors aggregates worker errors: nil when all are nil, the
+// first error when every failure is the same value (preserving sentinel
+// comparisons like err == engine.ErrTimeLimit), errors.Join otherwise.
+func joinErrors(errs []error) error {
+	var nonNil []error
 	for _, e := range errs {
 		if e != nil {
-			err = e
+			nonNil = append(nonNil, e)
+		}
+	}
+	if len(nonNil) == 0 {
+		return nil
+	}
+	same := true
+	for _, e := range nonNil[1:] {
+		if e != nonNil[0] {
+			same = false
 			break
 		}
 	}
-	return out, err
+	if same {
+		return nonNil[0]
+	}
+	return errors.Join(nonNil...)
+}
+
+// queuedFrame is one donated frame awaiting a worker, paired with its
+// ledger unit (0 when checkpointing is off).
+type queuedFrame struct {
+	f    *engine.Frame
+	unit unitID
+}
+
+// workerState is per-worker scheduler state reachable from the
+// donation hook: the ledger unit of the chunk or frame the worker is
+// currently executing, so donated frames can be parented correctly.
+type workerState struct {
+	unit unitID
 }
 
 // pool is the shared scheduler state.
@@ -169,13 +353,14 @@ type pool struct {
 	pl    *plan.Plan
 	opts  Options
 	visit engine.VisitFunc
+	led   *ledger // nil when checkpointing is off
 
 	roots  []graph.VertexID
 	cursor atomic.Int64 // next unclaimed root index
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queue    []*engine.Frame
+	queue    []queuedFrame
 	idle     int
 	finished bool
 	stop     atomic.Bool
@@ -190,10 +375,14 @@ type pool struct {
 // scheduling loop; it returns when the roots are exhausted and the queue
 // stays empty with every other worker idle.
 func (p *pool) worker(idx int) (engine.Result, int64, error) {
+	if err := faultpoint.Hit(faultpoint.PointWorkerStart); err != nil {
+		return engine.Result{}, 0, fmt.Errorf("parallel: worker %d start: %w", idx, err)
+	}
 	e := engine.New(p.g, p.pl, p.opts.Engine)
 	e.Stop = &p.stop
+	ws := &workerState{}
 	if p.opts.Scheduler == WorkStealing {
-		e.Hook = p.makeHook()
+		e.Hook = p.makeHook(ws)
 	}
 	if p.opts.Scheduler == StaticPartition {
 		// One fixed slice per worker, no rebalancing of any kind.
@@ -208,17 +397,18 @@ func (p *pool) worker(idx int) (engine.Result, int64, error) {
 		acc.Add(res)
 		return acc, e.CandidateMemoryBytes(), err
 	}
-	acc, err := p.runLoop(e)
+	acc, err := p.runLoop(e, ws)
 	return acc, e.CandidateMemoryBytes(), err
 }
 
 // runLoop is the worker body proper: claim root chunks while any remain,
 // then execute donated frames until global termination. It stays
 // allocation-free — every per-worker buffer was allocated by engine.New
-// before entry.
+// before entry, and the ledger (acknowledged-cold, once per chunk) owns
+// its own memory.
 //
 //light:hotpath
-func (p *pool) runLoop(e *engine.Enumerator) (engine.Result, error) {
+func (p *pool) runLoop(e *engine.Enumerator, ws *workerState) (engine.Result, error) {
 	var acc engine.Result
 	for {
 		// Phase 1: claim a root chunk.
@@ -228,6 +418,7 @@ func (p *pool) runLoop(e *engine.Enumerator) (engine.Result, error) {
 				hi = int64(len(p.roots))
 			}
 			p.chunks.Add(1)
+			ws.unit = p.led.beginChunk(lo, hi)
 			res, err := e.RunRoots(p.roots[lo:hi], p.visit)
 			acc.Add(res)
 			if err != nil || res.Stopped {
@@ -235,60 +426,75 @@ func (p *pool) runLoop(e *engine.Enumerator) (engine.Result, error) {
 				p.wakeAll()
 				return acc, err
 			}
+			p.led.finish(ws.unit, res)
 			continue
 		}
 		// Phase 2: take donated frames, or wait for some.
-		f, ok := p.takeFrame()
+		qf, ok := p.takeFrame()
 		if !ok {
 			return acc, nil
 		}
+		if err := faultpoint.Hit(faultpoint.PointFrameResume); err != nil {
+			p.stop.Store(true)
+			p.wakeAll()
+			return acc, err
+		}
 		p.steals.Add(1)
-		res, err := e.Resume(f, p.visit)
+		ws.unit = qf.unit
+		res, err := e.Resume(qf.f, p.visit)
 		acc.Add(res)
 		if err != nil || res.Stopped {
 			p.stop.Store(true)
 			p.wakeAll()
 			return acc, err
 		}
+		p.led.finish(qf.unit, res)
 	}
 }
 
 // makeHook builds the sender-initiated donation hook: when idle workers
 // are waiting and the queue is empty, split the remaining candidates of
-// the current materialization loop in half and publish a frame.
-func (p *pool) makeHook() engine.MatHook {
+// the current materialization loop in half and publish a frame. The
+// scheduler lock is released by defer, so a panic anywhere inside the
+// donation path (snapshotting, injected faults) unwinds with the lock
+// free and can never wedge the other workers.
+func (p *pool) makeHook(ws *workerState) engine.MatHook {
 	return func(e *engine.Enumerator, sigmaIdx int, cands []graph.VertexID) int {
 		if len(cands) < p.opts.MinSplit || p.hungry.Load() == 0 {
 			return len(cands)
 		}
 		p.mu.Lock()
+		defer p.mu.Unlock()
 		if p.idle == 0 || len(p.queue) >= p.idle {
-			p.mu.Unlock()
+			return len(cands)
+		}
+		if err := faultpoint.Hit(faultpoint.PointDonate); err != nil {
+			// Donation is optional work: an injected fault skips this
+			// donation and the worker keeps its whole loop.
 			return len(cands)
 		}
 		keep := len(cands) / 2
 		f := e.Snapshot(sigmaIdx, cands[keep:])
-		p.queue = append(p.queue, f)
+		p.queue = append(p.queue, queuedFrame{f: f, unit: p.led.beginFrame(ws.unit, f)})
 		p.donations.Add(1)
 		p.cond.Broadcast()
-		p.mu.Unlock()
 		return keep
 	}
 }
 
 // takeFrame blocks until a frame is available or the pool terminates.
-func (p *pool) takeFrame() (*engine.Frame, bool) {
+func (p *pool) takeFrame() (queuedFrame, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.idle++
 	p.hungry.Add(1)
 	for {
 		if len(p.queue) > 0 {
-			f := p.queue[len(p.queue)-1]
+			qf := p.queue[len(p.queue)-1]
 			p.queue = p.queue[:len(p.queue)-1]
 			p.idle--
 			p.hungry.Add(-1)
-			return f, true
+			return qf, true
 		}
 		if p.finished || p.stop.Load() || p.idle == p.opts.Workers {
 			// Termination: all workers idle and nothing queued. Latch the
@@ -297,7 +503,7 @@ func (p *pool) takeFrame() (*engine.Frame, bool) {
 			p.cond.Broadcast()
 			p.idle--
 			p.hungry.Add(-1)
-			return nil, false
+			return queuedFrame{}, false
 		}
 		p.cond.Wait()
 	}
@@ -307,4 +513,12 @@ func (p *pool) wakeAll() {
 	p.mu.Lock()
 	p.cond.Broadcast()
 	p.mu.Unlock()
+}
+
+// writeCheckpoint persists the ledger's committed state to the
+// configured checkpoint path.
+func (p *pool) writeCheckpoint(complete bool) error {
+	ck := p.led.snapshot(p.cursor.Load())
+	ck.Complete = complete
+	return ck.Save(p.opts.Checkpoint.Path)
 }

@@ -22,7 +22,7 @@ import (
 func TestWorkStealingStressDeterministic(t *testing.T) {
 	iters, n := 25, 80
 	if testing.Short() {
-		iters, n = 5, 40
+		iters, n = 5, 60
 	}
 	g := gen.Complete(n)
 	pl := compile(t, pattern.Clique(4), plan.ModeLIGHT)

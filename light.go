@@ -21,11 +21,13 @@ package light
 
 import (
 	"compress/gzip"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"light/internal/engine"
@@ -35,6 +37,7 @@ import (
 	"light/internal/parallel"
 	"light/internal/pattern"
 	"light/internal/plan"
+	"light/internal/supervise"
 )
 
 // ErrTimeLimit is returned when Options.TimeLimit elapses mid-run.
@@ -289,6 +292,21 @@ type Options struct {
 	// Order overrides the cost-based enumeration order with an explicit
 	// permutation of pattern vertices (advanced; must be connected).
 	Order []int
+	// CheckpointPath, when non-empty, periodically persists the run's
+	// committed state to this file (atomic temp-file+rename writes) so
+	// an interrupted run can be resumed with ResumeFrom. Forces the
+	// parallel work-stealing engine even for Workers <= 1.
+	CheckpointPath string
+	// CheckpointInterval is the period between checkpoint writes
+	// (default 30s). A final checkpoint is always written when the run
+	// ends, completes, or is cancelled.
+	CheckpointInterval time.Duration
+	// ResumeFrom, when non-empty, loads the checkpoint at this path and
+	// enumerates only the work it does not cover; the returned Result
+	// includes the checkpoint's committed matches, so the total equals
+	// an uninterrupted run's. The graph, pattern, and options must
+	// match the checkpointing run (verified by fingerprint).
+	ResumeFrom string
 }
 
 // Result reports an enumeration.
@@ -330,22 +348,41 @@ func preparePlan(g *Graph, p *Pattern, opts Options) (*plan.Plan, error) {
 
 // Count returns the number of subgraphs of g isomorphic to p.
 func Count(g *Graph, p *Pattern, opts Options) (Result, error) {
-	return run(g, p, opts, nil)
+	return run(context.Background(), g, p, opts, nil)
+}
+
+// CountContext is Count under a context: cancellation or a context
+// deadline stops the run at its next poll and returns the partial
+// count with Stopped=true and ctx.Err() as the error.
+func CountContext(ctx context.Context, g *Graph, p *Pattern, opts Options) (Result, error) {
+	return run(ctx, g, p, opts, nil)
 }
 
 // Enumerate calls visit for every subgraph of g isomorphic to p;
 // visit(m) receives the data vertex m[u] matched to each pattern vertex
 // u. The slice is reused — copy it to retain. Returning false stops the
 // enumeration. With Workers > 1, visit is serialized by a mutex but may
-// be called from different goroutines.
+// be called from different goroutines. A panic inside visit does not
+// crash the process: the run stops cleanly and the panic is returned
+// as an error (a *supervise.PanicError carrying the stack).
 func Enumerate(g *Graph, p *Pattern, opts Options, visit func(mapping []VertexID) bool) (Result, error) {
 	if visit == nil {
 		return Result{}, errors.New("light: Enumerate requires a visitor; use Count")
 	}
-	return run(g, p, opts, visit)
+	return run(context.Background(), g, p, opts, visit)
 }
 
-func run(g *Graph, p *Pattern, opts Options, visit engine.VisitFunc) (Result, error) {
+// EnumerateContext is Enumerate under a context: cancellation or a
+// context deadline stops the run at its next poll and returns the
+// partial result with Stopped=true and ctx.Err() as the error.
+func EnumerateContext(ctx context.Context, g *Graph, p *Pattern, opts Options, visit func(mapping []VertexID) bool) (Result, error) {
+	if visit == nil {
+		return Result{}, errors.New("light: EnumerateContext requires a visitor; use CountContext")
+	}
+	return run(ctx, g, p, opts, visit)
+}
+
+func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.VisitFunc) (Result, error) {
 	pl, err := preparePlan(g, p, opts)
 	if err != nil {
 		return Result{}, err
@@ -360,16 +397,52 @@ func run(g *Graph, p *Pattern, opts Options, visit engine.VisitFunc) (Result, er
 	res.Order = make([]int, len(pl.Pi))
 	copy(res.Order, pl.Pi)
 
-	if opts.Workers > 1 {
-		pres, err := parallel.Run(g.g, pl, parallel.Options{Engine: eopts, Workers: opts.Workers}, visit)
+	// Checkpointing and resume live in the parallel scheduler's ledger,
+	// so either option routes through it even for a single worker.
+	if opts.Workers > 1 || opts.CheckpointPath != "" || opts.ResumeFrom != "" {
+		popts := parallel.Options{Engine: eopts, Workers: opts.Workers}
+		if opts.CheckpointPath != "" {
+			popts.Checkpoint = &parallel.CheckpointOptions{
+				Path:     opts.CheckpointPath,
+				Interval: opts.CheckpointInterval,
+			}
+		}
+		if opts.ResumeFrom != "" {
+			ck, err := supervise.LoadCheckpoint(opts.ResumeFrom)
+			if err != nil {
+				return Result{}, fmt.Errorf("light: loading checkpoint: %w", err)
+			}
+			popts.Resume = ck
+		}
+		if opts.Workers <= 1 {
+			popts.Workers = 1
+		}
+		pres, err := parallel.RunContext(ctx, g.g, pl, popts, visit)
 		res = fill(res, pres.Result, time.Since(start))
 		res.CandidateMemoryBytes = pres.CandidateMemBytes
 		return res, mapErr(err)
 	}
+
 	e := engine.New(g.g, pl, eopts)
-	eres, err := e.Run(visit)
+	var ctxStop atomic.Bool
+	e.Stop = &ctxStop
+	release := supervise.WatchContext(ctx, func() { ctxStop.Store(true) })
+	defer release()
+	visit, visitErr := supervise.SafeVisit("visit callback", visit)
+	var eres engine.Result
+	err = supervise.Call("sequential enumeration", func() error {
+		var rerr error
+		eres, rerr = e.Run(visit)
+		return rerr
+	})
 	res = fill(res, eres, time.Since(start))
 	res.CandidateMemoryBytes = e.CandidateMemoryBytes()
+	if verr := visitErr(); verr != nil {
+		err = verr
+	}
+	if err == nil && eres.Stopped && ctx != nil && ctx.Err() != nil {
+		err = ctx.Err()
+	}
 	return res, mapErr(err)
 }
 

@@ -1,0 +1,129 @@
+package light
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCountContextDeadline(t *testing.T) {
+	g := GenerateComplete(150)
+	p, _ := PatternByName("clique5")
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		res, err := CountContext(ctx, g, p, Options{Workers: workers})
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("workers=%d: err = %v, want DeadlineExceeded", workers, err)
+		}
+		if !res.Stopped {
+			t.Fatalf("workers=%d: deadline-stopped run must report Stopped", workers)
+		}
+	}
+}
+
+func TestEnumerateContextCancelFromVisitor(t *testing.T) {
+	g := GenerateComplete(150)
+	p, _ := PatternByName("clique4")
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var seen atomic.Uint64
+		res, err := EnumerateContext(ctx, g, p, Options{Workers: workers}, func(m []VertexID) bool {
+			if seen.Add(1) == 10 {
+				cancel()
+			}
+			return true
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want Canceled", workers, err)
+		}
+		if !res.Stopped || res.Matches < 10 {
+			t.Fatalf("workers=%d: partial result lost: stopped=%v matches=%d", workers, res.Stopped, res.Matches)
+		}
+	}
+}
+
+func TestEnumerateContextRequiresVisitor(t *testing.T) {
+	g := GenerateComplete(5)
+	p, _ := PatternByName("triangle")
+	if _, err := EnumerateContext(context.Background(), g, p, Options{}, nil); err == nil {
+		t.Fatal("nil visitor accepted")
+	}
+}
+
+// TestVisitorPanicBecomesError: both the sequential and the parallel
+// path must convert a visitor panic into an error instead of crashing.
+func TestVisitorPanicBecomesError(t *testing.T) {
+	g := GenerateBarabasiAlbert(300, 5, 2)
+	p, _ := PatternByName("triangle")
+	for _, workers := range []int{1, 4} {
+		var seen atomic.Uint64
+		_, err := Enumerate(g, p, Options{Workers: workers}, func(m []VertexID) bool {
+			if seen.Add(1) == 3 {
+				panic("user callback bug")
+			}
+			return true
+		})
+		if err == nil || !strings.Contains(err.Error(), "user callback bug") {
+			t.Fatalf("workers=%d: err = %v, want the recovered panic", workers, err)
+		}
+	}
+}
+
+// TestCheckpointResumePublicAPI drives checkpoint/resume purely through
+// light.Options, including the Workers<=1 case that silently routes
+// through the parallel scheduler.
+func TestCheckpointResumePublicAPI(t *testing.T) {
+	g := GenerateBarabasiAlbert(400, 6, 4)
+	p, _ := PatternByName("triangle")
+	full, err := Count(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		path := filepath.Join(t.TempDir(), "state.ckpt")
+		opts := Options{
+			Workers:            workers,
+			CheckpointPath:     path,
+			CheckpointInterval: time.Hour,
+		}
+		var res Result
+		budget := uint64(150)
+		for attempt := 0; ; attempt++ {
+			if attempt > 60 {
+				t.Fatalf("workers=%d: no convergence", workers)
+			}
+			runOpts := opts
+			if attempt > 0 {
+				runOpts.ResumeFrom = path
+			}
+			var seen atomic.Uint64
+			res, err = Enumerate(g, p, runOpts, func(m []VertexID) bool {
+				return seen.Add(1) < budget
+			})
+			if err != nil {
+				t.Fatalf("workers=%d attempt %d: %v", workers, attempt, err)
+			}
+			if !res.Stopped {
+				break
+			}
+			budget += budget / 2
+		}
+		if res.Matches != full.Matches {
+			t.Fatalf("workers=%d: resumed total %d, want %d", workers, res.Matches, full.Matches)
+		}
+	}
+}
+
+func TestResumeFromMissingFile(t *testing.T) {
+	g := GenerateComplete(6)
+	p, _ := PatternByName("triangle")
+	if _, err := Count(g, p, Options{ResumeFrom: filepath.Join(t.TempDir(), "nope.ckpt")}); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}

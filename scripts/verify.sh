@@ -25,6 +25,11 @@ go test "${SHORT[@]}" ./...
 echo "==> go test -race (parallel, engine)"
 go test -race "${SHORT[@]}" ./internal/parallel/... ./internal/engine/...
 
+echo "==> chaos: go test -race -tags faultinject"
+go build -tags faultinject ./...
+go test -race -tags faultinject "${SHORT[@]}" \
+    ./internal/faultpoint/ ./internal/parallel/ ./internal/supervise/ ./internal/graph/
+
 echo "==> fuzz smoke: FuzzCSRRoundTrip (10s)"
 go test ./internal/graph/ -run FuzzCSRRoundTrip -fuzz FuzzCSRRoundTrip -fuzztime 10s
 
