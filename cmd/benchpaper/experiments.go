@@ -12,6 +12,7 @@ import (
 	"light/internal/gen"
 	"light/internal/graph"
 	"light/internal/intersect"
+	"light/internal/metrics"
 	"light/internal/parallel"
 	"light/internal/pattern"
 	"light/internal/plan"
@@ -100,13 +101,46 @@ func sharedPlans(g *graph.Graph, p *pattern.Pattern) map[string]*plan.Plan {
 }
 
 // outcome is one cell of a results table: a duration, a count, or a
-// failure mark (INF for out-of-time, OOS for out-of-space).
+// failure mark (INF for out-of-time, OOS for out-of-space). The work
+// counters are filled by the engine-backed runners; the comparison
+// systems report only matches and intersections.
 type outcome struct {
 	dur     time.Duration
 	count   uint64
 	ints    uint64
 	galloPc float64
 	mark    string // "" = success
+	nodes   uint64
+	comps   uint64
+	gallops uint64
+	elems   uint64
+	mem     int64
+}
+
+// collector accumulates BenchRows for -json output. A nil collector
+// records nothing, so experiments call rec unconditionally.
+type collector struct {
+	rows []metrics.BenchRow
+}
+
+func (c *collector) rec(dataset, pat, system string, o outcome) {
+	if c == nil {
+		return
+	}
+	c.rows = append(c.rows, metrics.BenchRow{
+		Dataset:       dataset,
+		Pattern:       pat,
+		System:        system,
+		Mark:          o.mark,
+		WallNS:        int64(o.dur),
+		Matches:       o.count,
+		Nodes:         o.nodes,
+		Comps:         o.comps,
+		Intersections: o.ints,
+		Galloping:     o.gallops,
+		Elements:      o.elems,
+		MemoryBytes:   o.mem,
+	})
 }
 
 func (o outcome) timeCell() string {
@@ -139,11 +173,25 @@ func runPlan(g *graph.Graph, pl *plan.Plan, kernel intersect.Kind, limit time.Du
 	e := engine.New(g, pl, engine.Options{Kernel: kernel, TimeLimit: limit})
 	start := time.Now()
 	res, err := e.Run(nil)
-	o := outcome{dur: time.Since(start), count: res.Matches, ints: res.Stats.Intersections, galloPc: res.Stats.GallopingPercent()}
+	o := engineOutcome(time.Since(start), res)
 	if errors.Is(err, engine.ErrTimeLimit) {
 		o.mark = "INF"
 	}
 	return o
+}
+
+// engineOutcome copies an engine result's counters into an outcome.
+func engineOutcome(d time.Duration, res engine.Result) outcome {
+	return outcome{
+		dur:     d,
+		count:   res.Matches,
+		ints:    res.Stats.Intersections,
+		galloPc: res.Stats.GallopingPercent(),
+		nodes:   res.Nodes,
+		comps:   res.Comps,
+		gallops: res.Stats.Galloping,
+		elems:   res.Stats.Elements,
+	}
 }
 
 // runParallel runs one engine-backed algorithm with the work-stealing
@@ -166,7 +214,8 @@ func runParallelCount(g *graph.Graph, pl *plan.Plan, kernel intersect.Kind, work
 		Engine:  engine.Options{Kernel: kernel, TimeLimit: limit, TailCount: tailCount},
 		Workers: workers,
 	}, nil)
-	o := outcome{dur: time.Since(start), count: res.Matches, ints: res.Stats.Intersections, galloPc: res.Stats.GallopingPercent()}
+	o := engineOutcome(time.Since(start), res.Result)
+	o.mem = res.CandidateMemBytes
 	if errors.Is(err, engine.ErrTimeLimit) {
 		o.mark = "INF"
 	}
@@ -252,6 +301,12 @@ func fig4(c config) {
 			lm := runPlan(d.g, plans["LM"], intersect.KindMerge, c.timeout)
 			msc := runPlan(d.g, plans["MSC"], intersect.KindMerge, c.timeout)
 			li := runPlan(d.g, plans["LIGHT"], intersect.KindMerge, c.timeout)
+			for _, cell := range []struct {
+				sys string
+				o   outcome
+			}{{"EH", eh}, {"CFL", cfl}, {"SE", se}, {"LM", lm}, {"MSC", msc}, {"LIGHT", li}} {
+				c.col.rec(d.name, short(p), cell.sys, cell.o)
+			}
 			fmt.Printf("%-8s %-4s | %10s %10s %10s %10s %10s %10s | %d\n",
 				d.name, short(p), eh.timeCell(), cfl.timeCell(), se.timeCell(),
 				lm.timeCell(), msc.timeCell(), li.timeCell(), li.count)
@@ -273,6 +328,12 @@ func fig5(c config) {
 			lm := runPlan(d.g, plans["LM"], intersect.KindMerge, c.timeout)
 			msc := runPlan(d.g, plans["MSC"], intersect.KindMerge, c.timeout)
 			li := runPlan(d.g, plans["LIGHT"], intersect.KindMerge, c.timeout)
+			for _, cell := range []struct {
+				sys string
+				o   outcome
+			}{{"EH", eh}, {"CFL", cfl}, {"SE", se}, {"LM", lm}, {"MSC", msc}, {"LIGHT", li}} {
+				c.col.rec(d.name, short(p), cell.sys, cell.o)
+			}
 			fmt.Printf("%-8s %-4s | %12s %12s %12s %12s %12s %12s\n",
 				d.name, short(p), intCell(eh), intCell(cfl), intCell(se), intCell(lm), intCell(msc), intCell(li))
 		}
@@ -297,7 +358,9 @@ func fig6(c config) {
 			pl := sharedPlans(d.g, p)["LIGHT"]
 			cells := make([]string, 4)
 			for i, k := range []intersect.Kind{intersect.KindMerge, intersect.KindMergeBlock, intersect.KindHybrid, intersect.KindHybridBlock} {
-				cells[i] = runPlan(d.g, pl, k, c.timeout).timeCell()
+				o := runPlan(d.g, pl, k, c.timeout)
+				c.col.rec(d.name, short(p), "LIGHT/"+k.String(), o)
+				cells[i] = o.timeCell()
 			}
 			fmt.Printf("%-8s %-4s | %12s %12s %12s %12s\n", d.name, short(p), cells[0], cells[1], cells[2], cells[3])
 		}
@@ -311,6 +374,7 @@ func table3(c config) {
 	for _, d := range c.loadDatasets("yt-s", "lj-s") {
 		for _, p := range c.loadPatterns("P2", "P4", "P6") {
 			o := runPlan(d.g, sharedPlans(d.g, p)["LIGHT"], intersect.KindHybrid, c.timeout)
+			c.col.rec(d.name, short(p), "LIGHT/Hybrid", o)
 			cell := fmt.Sprintf("%.1f%%", o.galloPc)
 			if o.mark != "" {
 				cell = o.mark
@@ -335,6 +399,7 @@ func fig7(c config) {
 			var base, best time.Duration
 			for _, t := range threads {
 				o, _ := runParallel(d.g, p, plan.ModeLIGHT, intersect.KindHybridBlock, t, c.timeout)
+				c.col.rec(d.name, short(p), fmt.Sprintf("LIGHT/%dT", t), o)
 				fmt.Printf(" %9s", o.timeCell())
 				if t == 1 {
 					base = o.dur
@@ -360,6 +425,12 @@ func table4(c config) {
 			sep, _ := runParallelPlan(d.g, plans["SE"], intersect.KindHybridBlock, c.workers, c.timeout)
 			li := runPlan(d.g, plans["LIGHT"], intersect.KindMerge, c.timeout)
 			lip, _ := runParallelPlan(d.g, plans["LIGHT"], intersect.KindHybridBlock, c.workers, c.timeout)
+			for _, cell := range []struct {
+				sys string
+				o   outcome
+			}{{"SE", se}, {"SE+P", sep}, {"LIGHT", li}, {"LIGHT+P", lip}} {
+				c.col.rec(d.name, short(p), cell.sys, cell.o)
+			}
 			speed := "-"
 			if se.mark == "" && lip.mark == "" && lip.dur > 0 {
 				speed = fmt.Sprintf("%.0fx", float64(se.dur)/float64(lip.dur))
@@ -376,7 +447,8 @@ func table5(c config) {
 	fmt.Printf("%-8s | %12s\n", "dataset", "memory")
 	p := pattern.P5()
 	for _, d := range c.loadDatasets("yt-s", "eu-s", "lj-s", "ot-s", "uk-s", "fs-s") {
-		_, pres := runParallel(d.g, p, plan.ModeLIGHT, intersect.KindHybridBlock, c.workers, c.timeout)
+		o, pres := runParallel(d.g, p, plan.ModeLIGHT, intersect.KindHybridBlock, c.workers, c.timeout)
+		c.col.rec(d.name, "P5", "LIGHT", o)
 		fmt.Printf("%-8s | %10.3fMB\n", d.name, float64(pres.CandidateMemBytes)/(1<<20))
 	}
 }
@@ -398,12 +470,19 @@ func fig8(c config) {
 			du, _ := runParallelCount(d.g, compilePlan(d.g, p, plan.ModeSE), intersect.KindHybridBlock, c.workers, c.timeout, true)
 			seed := runBFS(bfsjoin.SEED, d.g, p, c)
 			cry := runBFS(bfsjoin.Crystal, d.g, p, c)
+			for _, cell := range []struct {
+				sys string
+				o   outcome
+			}{{"LIGHT", li}, {"DUALSIM*", du}, {"SEED*", seed}, {"CRYSTAL*", cry}} {
+				c.col.rec(d.name, short(p), cell.sys, cell.o)
+			}
 			matches := "-"
 			if li.mark == "" {
 				matches = fmt.Sprintf("%d", li.count)
 			}
 			if c.twintwig {
 				tt := runBFS(bfsjoin.TwinTwig, d.g, p, c)
+				c.col.rec(d.name, short(p), "TWINTWIG*", tt)
 				fmt.Printf("%-8s %-4s | %10s %10s %10s %10s %10s | %s\n",
 					d.name, short(p), li.timeCell(), du.timeCell(), seed.timeCell(), cry.timeCell(), tt.timeCell(), matches)
 				continue

@@ -1,0 +1,180 @@
+// Command lightbench is the deterministic smoke-benchmark suite behind
+// scripts/bench_gate.sh: P2/P4/P6 on a seeded synthetic graph, serial
+// and 4-thread, written as a schema-versioned BENCH_smoke.json report.
+//
+// The work counters in the report (matches, nodes, comps,
+// intersections, galloping, elements) depend only on (graph, plan,
+// kernel) — the suite verifies that itself by requiring the serial and
+// parallel runs of every pattern to agree — so CI gates them on exact
+// equality against the committed baseline in bench/BENCH_smoke.json.
+// Wall-clock times are gated with a tolerance, or advisory on noisy
+// shared runners.
+//
+// Usage:
+//
+//	lightbench [-out BENCH_smoke.json]           # run the suite
+//	lightbench -compare [-advisory-time] A B     # gate B against baseline A
+//
+// In -compare mode the exit status is non-zero when any deterministic
+// counter differs, or (unless -advisory-time) when a wall-clock time
+// regresses past -wall-tolerance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"light"
+	"light/internal/gen"
+	"light/internal/metrics"
+)
+
+// benchDataset / benchScale pin the suite's graph: the seeded yt-s
+// generator, so every machine builds the identical graph.
+const (
+	benchDataset = "yt-s"
+	benchScale   = 1
+	wallSlack    = 25 * time.Millisecond
+)
+
+var benchPatterns = []string{"P2", "P4", "P6"}
+
+func main() {
+	out := flag.String("out", "BENCH_smoke.json", "report output path")
+	compare := flag.Bool("compare", false, "compare two reports (args: baseline fresh) instead of running")
+	advisoryTime := flag.Bool("advisory-time", false, "with -compare: report wall-clock regressions without failing")
+	wallTol := flag.Float64("wall-tolerance", 0.15, "with -compare: allowed wall-clock slowdown fraction")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "lightbench: -compare needs two arguments: baseline fresh")
+			os.Exit(2)
+		}
+		os.Exit(compareFiles(flag.Arg(0), flag.Arg(1), *wallTol, *advisoryTime))
+	}
+
+	rep, err := runSuite()
+	if err != nil {
+		fatal(err)
+	}
+	if err := metrics.WriteBenchFile(*out, rep); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d rows, fingerprint %s)\n", *out, len(rep.Rows), rep.Fingerprint)
+}
+
+// runSuite executes every (pattern, system) cell and self-checks the
+// determinism invariant the CI gate relies on: serial and 4-thread runs
+// must produce identical work counters.
+func runSuite() (*metrics.BenchReport, error) {
+	d, err := gen.ByName(benchDataset, benchScale)
+	if err != nil {
+		return nil, err
+	}
+	ig := d.Make()
+	edges := make([][2]light.VertexID, 0, ig.NumEdges())
+	for v := 0; v < ig.NumVertices(); v++ {
+		for _, w := range ig.Neighbors(light.VertexID(v)) {
+			if light.VertexID(v) < w {
+				edges = append(edges, [2]light.VertexID{light.VertexID(v), w})
+			}
+		}
+	}
+	g := light.NewGraph(ig.NumVertices(), edges)
+
+	var rows []metrics.BenchRow
+	for _, name := range benchPatterns {
+		p, err := light.PatternByName(name)
+		if err != nil {
+			return nil, err
+		}
+		serial, err := runCell(g, p, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%s serial: %w", name, err)
+		}
+		par, err := runCell(g, p, 4)
+		if err != nil {
+			return nil, fmt.Errorf("%s 4T: %w", name, err)
+		}
+		if serial.Matches != par.Matches || serial.Nodes != par.Nodes ||
+			serial.Comps != par.Comps || serial.Intersections != par.Intersections ||
+			serial.Galloping != par.Galloping || serial.Elements != par.Elements {
+			return nil, fmt.Errorf("%s: determinism self-check failed: serial %+v vs 4T %+v", name, serial, par)
+		}
+		rows = append(rows, serial, par)
+	}
+	return metrics.NewBenchReport("smoke", map[string]string{
+		"dataset": benchDataset,
+		"scale":   fmt.Sprint(benchScale),
+	}, rows), nil
+}
+
+// runCell measures one (pattern, workers) configuration.
+func runCell(g *light.Graph, p *light.Pattern, workers int) (metrics.BenchRow, error) {
+	res, err := light.Count(g, p, light.Options{Workers: workers})
+	if err != nil {
+		return metrics.BenchRow{}, err
+	}
+	r := res.Report
+	system := "LIGHT/serial"
+	if workers > 1 {
+		system = fmt.Sprintf("LIGHT/%dT", workers)
+	}
+	return metrics.BenchRow{
+		Dataset:       benchDataset,
+		Pattern:       p.Name(),
+		System:        system,
+		WallNS:        r.WallNS,
+		Matches:       r.Matches,
+		Nodes:         r.Nodes,
+		Comps:         r.Comps,
+		Intersections: r.Intersections,
+		Galloping:     r.Galloping,
+		Elements:      r.Elements,
+		MemoryBytes:   r.CandidateMemoryBytes,
+	}, nil
+}
+
+// compareFiles gates fresh against baseline and returns the process
+// exit code: 0 clean, 1 regression, 2 unreadable input.
+func compareFiles(basePath, freshPath string, wallTol float64, advisoryTime bool) int {
+	base, err := metrics.LoadBenchFile(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightbench:", err)
+		return 2
+	}
+	fresh, err := metrics.LoadBenchFile(freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightbench:", err)
+		return 2
+	}
+	c := metrics.CompareBench(base, fresh, wallTol, wallSlack)
+	for _, msg := range c.CounterRegressions {
+		fmt.Printf("COUNTER REGRESSION: %s\n", msg)
+	}
+	for _, msg := range c.WallRegressions {
+		if advisoryTime {
+			fmt.Printf("wall regression (advisory): %s\n", msg)
+		} else {
+			fmt.Printf("WALL REGRESSION: %s\n", msg)
+		}
+	}
+	if len(c.CounterRegressions) > 0 {
+		fmt.Printf("bench gate: FAIL (%d counter regressions)\n", len(c.CounterRegressions))
+		return 1
+	}
+	if len(c.WallRegressions) > 0 && !advisoryTime {
+		fmt.Printf("bench gate: FAIL (%d wall-clock regressions)\n", len(c.WallRegressions))
+		return 1
+	}
+	fmt.Printf("bench gate: OK (%d rows, fingerprint %s)\n", len(fresh.Rows), fresh.Fingerprint)
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lightbench:", err)
+	os.Exit(1)
+}

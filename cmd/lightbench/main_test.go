@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"light/internal/metrics"
+)
+
+func writeReport(t *testing.T, path string, rows []metrics.BenchRow) {
+	t.Helper()
+	rep := metrics.NewBenchReport("smoke", nil, rows)
+	if err := metrics.WriteBenchFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testRows() []metrics.BenchRow {
+	return []metrics.BenchRow{
+		{Dataset: "yt-s", Pattern: "P2", System: "LIGHT/serial", WallNS: 2e6,
+			Matches: 992, Nodes: 14947, Comps: 13602, Intersections: 9594, Galloping: 111, Elements: 333444},
+		{Dataset: "yt-s", Pattern: "P2", System: "LIGHT/4T", WallNS: 2e6,
+			Matches: 992, Nodes: 14947, Comps: 13602, Intersections: 9594, Galloping: 111, Elements: 333444},
+	}
+}
+
+func TestCompareFilesExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeReport(t, base, testRows())
+
+	same := filepath.Join(dir, "same.json")
+	writeReport(t, same, testRows())
+	if code := compareFiles(base, same, 0.15, false); code != 0 {
+		t.Fatalf("identical reports: exit %d, want 0", code)
+	}
+
+	rows := testRows()
+	rows[0].Intersections += 100 // injected counter regression
+	drift := filepath.Join(dir, "drift.json")
+	writeReport(t, drift, rows)
+	if code := compareFiles(base, drift, 0.15, false); code != 1 {
+		t.Fatalf("counter drift: exit %d, want 1", code)
+	}
+	// Counter regressions fail even in advisory-time mode.
+	if code := compareFiles(base, drift, 0.15, true); code != 1 {
+		t.Fatalf("counter drift (advisory): exit %d, want 1", code)
+	}
+
+	rows = testRows()
+	rows[0].WallNS *= 1000 // 2ms → 2s: past both tolerance and slack
+	slow := filepath.Join(dir, "slow.json")
+	writeReport(t, slow, rows)
+	if code := compareFiles(base, slow, 0.15, false); code != 1 {
+		t.Fatalf("wall regression: exit %d, want 1", code)
+	}
+	if code := compareFiles(base, slow, 0.15, true); code != 0 {
+		t.Fatalf("wall regression with -advisory-time: exit %d, want 0", code)
+	}
+
+	if code := compareFiles(filepath.Join(dir, "missing.json"), same, 0.15, false); code != 2 {
+		t.Fatalf("unreadable baseline: exit %d, want 2", code)
+	}
+}
+
+// TestBenchGateScriptFailsOnInjectedRegression is the acceptance-
+// criterion demonstration: scripts/bench_gate.sh must exit non-zero
+// when a deterministic counter in the fresh report drifts from the
+// committed baseline, and zero when the reports agree. The fresh report
+// is injected through BENCH_GATE_FRESH so the test never runs the
+// actual benchmark suite.
+func TestBenchGateScriptFailsOnInjectedRegression(t *testing.T) {
+	if _, err := exec.LookPath("bash"); err != nil {
+		t.Skip("bash not available")
+	}
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := filepath.Join(repoRoot, "scripts", "bench_gate.sh")
+	baselinePath := filepath.Join(repoRoot, "bench", "BENCH_smoke.json")
+	baseline, err := metrics.LoadBenchFile(baselinePath)
+	if err != nil {
+		t.Fatalf("committed baseline unreadable: %v", err)
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "lightbench")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building lightbench: %v\n%s", err, out)
+	}
+
+	runGate := func(freshPath string) (int, string) {
+		cmd := exec.Command("bash", script, "-advisory-time")
+		cmd.Dir = repoRoot
+		cmd.Env = append(os.Environ(),
+			"BENCH_GATE_FRESH="+freshPath,
+			"LIGHTBENCH_BIN="+bin,
+		)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode(), string(out)
+		}
+		t.Fatalf("running gate: %v\n%s", err, out)
+		return -1, ""
+	}
+
+	// Positive control: the baseline gated against itself passes.
+	clean := filepath.Join(dir, "clean.json")
+	writeReport(t, clean, baseline.Rows)
+	if code, out := runGate(clean); code != 0 {
+		t.Fatalf("clean gate exited %d:\n%s", code, out)
+	}
+
+	// Injected regression: one deterministic counter drifts.
+	rows := append([]metrics.BenchRow(nil), baseline.Rows...)
+	rows[0].Nodes++
+	bad := filepath.Join(dir, "bad.json")
+	writeReport(t, bad, rows)
+	if code, out := runGate(bad); code == 0 {
+		t.Fatalf("gate passed an injected counter regression:\n%s", out)
+	}
+}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	lightenum -pattern P2 -graph path.txt [-algo LIGHT] [-workers 8]
-//	          [-kernel HybridBlock] [-timeout 60s] [-print 10]
+//	          [-kernel HybridBlock] [-timeout 60s] [-print 10] [-stats]
 //	          [-checkpoint state.ckpt] [-resume state.ckpt]
 //
 // With -checkpoint, the run periodically persists its progress; if it
@@ -19,6 +19,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,6 +47,7 @@ func main() {
 	outPath := flag.String("out", "", "stream all matches to this file (one line per match)")
 	explain := flag.Bool("explain", false, "print the compiled plan and exit")
 	approx := flag.Int("approx", 0, "estimate the count from this many sampling probes instead of enumerating")
+	stats := flag.Bool("stats", false, "print the full run report (counters, scheduler stats) as JSON")
 	ckptPath := flag.String("checkpoint", "", "periodically save resumable progress to this file")
 	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second, "how often to write the checkpoint")
 	resumePath := flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
@@ -150,6 +152,13 @@ func main() {
 	fmt.Printf("order:            %v\n", res.Order)
 	fmt.Printf("intersections:    %d (%.1f%% galloping)\n", res.Intersections, res.GallopingPercent)
 	fmt.Printf("candidate memory: %d bytes\n", res.CandidateMemoryBytes)
+	if *stats && res.Report != nil {
+		data, err := json.MarshalIndent(res.Report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run report:\n%s\n", data)
+	}
 }
 
 // atomicWriter opens a buffered writer backed by a temp file next to

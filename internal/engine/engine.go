@@ -17,6 +17,7 @@ import (
 
 	"light/internal/graph"
 	"light/internal/intersect"
+	"light/internal/metrics"
 	"light/internal/plan"
 )
 
@@ -59,6 +60,11 @@ type Options struct {
 	// labeled-matching layer uses it for label and neighborhood-label-
 	// frequency filtering. Filter disables the TailCount shortcut.
 	Filter func(u int, v graph.VertexID) bool
+	// Metrics, when non-nil, receives this enumerator's counters: each
+	// RunRoots/Resume/Run folds its Result into the recorder when it
+	// finishes. Per-event counting stays in plain per-enumerator fields;
+	// only the fold touches atomics, so the hot path is unaffected.
+	Metrics *metrics.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +79,7 @@ type Result struct {
 	Matches uint64          // matches found (respecting the partial order)
 	Stats   intersect.Stats // set intersection counters
 	Nodes   uint64          // search-tree nodes expanded (MAT extensions)
+	Comps   uint64          // COMP operations executed (incl. aliases)
 	Stopped bool            // true when the visitor stopped the run early
 }
 
@@ -81,7 +88,25 @@ func (r *Result) Add(other Result) {
 	r.Matches += other.Matches
 	r.Stats.Add(other.Stats)
 	r.Nodes += other.Nodes
+	r.Comps += other.Comps
 	r.Stopped = r.Stopped || other.Stopped
+}
+
+// AddTo folds r into a metrics recorder (no-op when m is nil). The
+// merge count is derived: every intersection that did not gallop merged.
+//
+//light:hotpath
+func (r *Result) AddTo(m *metrics.Recorder) {
+	if m == nil {
+		return
+	}
+	m.Add(metrics.EngineNodes, r.Nodes)
+	m.Add(metrics.EngineMatches, r.Matches)
+	m.Add(metrics.EngineComps, r.Comps)
+	m.Add(metrics.IntersectOps, r.Stats.Intersections)
+	m.Add(metrics.IntersectGalloping, r.Stats.Galloping)
+	m.Add(metrics.IntersectMerge, r.Stats.Intersections-r.Stats.Galloping)
+	m.Add(metrics.IntersectElements, r.Stats.Elements)
 }
 
 // MatHook, when non-nil, is invoked at the start of every non-root MAT
@@ -340,6 +365,7 @@ func (e *Enumerator) begin(visit VisitFunc) {
 }
 
 func (e *Enumerator) finish() (Result, error) {
+	e.result.AddTo(e.opts.Metrics)
 	if e.err != nil {
 		return e.result, e.err
 	}
@@ -368,6 +394,7 @@ func (e *Enumerator) step(i int) bool {
 // compute runs the COMP of u (Equation 6) into e.cand[u], returning false
 // when the candidate set is empty.
 func (e *Enumerator) compute(u int) bool {
+	e.result.Comps++
 	ops := &e.pl.Ops[u]
 	nOperands := len(ops.K1) + len(ops.K2)
 	if nOperands == 1 {

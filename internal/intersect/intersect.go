@@ -78,12 +78,14 @@ func ParseKind(s string) (Kind, bool) {
 type Stats struct {
 	Intersections uint64 // total pairwise intersection operations
 	Galloping     uint64 // how many of them used the galloping path
+	Elements      uint64 // total input elements scanned (len(a)+len(b) per op)
 }
 
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.Intersections += other.Intersections
 	s.Galloping += other.Galloping
+	s.Elements += other.Elements
 }
 
 // GallopingPercent returns the percentage of intersections that used the
@@ -104,6 +106,7 @@ func (s *Stats) GallopingPercent() float64 {
 func Pair(dst, a, b []graph.VertexID, k Kind, delta int, stats *Stats) int {
 	if stats != nil {
 		stats.Intersections++
+		stats.Elements += uint64(len(a) + len(b))
 	}
 	switch k {
 	case KindMerge:

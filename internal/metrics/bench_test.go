@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRows() []BenchRow {
+	return []BenchRow{
+		{Dataset: "yt-s", Pattern: "P2", System: "LIGHT/serial", WallNS: 100e6,
+			Matches: 1000, Nodes: 5000, Comps: 2000, Intersections: 800, Galloping: 30, Elements: 64000},
+		{Dataset: "yt-s", Pattern: "P4", System: "LIGHT/4T", WallNS: 200e6,
+			Matches: 77, Nodes: 400, Comps: 90, Intersections: 60, Galloping: 0, Elements: 5200},
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	rep := NewBenchReport("smoke", map[string]string{"scale": "1"}, sampleRows())
+	if rep.Schema != BenchSchema || rep.Fingerprint == "" {
+		t.Fatalf("report not stamped: %+v", rep)
+	}
+	if err := WriteBenchFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != rep.Fingerprint || len(got.Rows) != len(rep.Rows) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Rows[0] != rep.Rows[0] {
+		t.Fatalf("row 0: %+v vs %+v", got.Rows[0], rep.Rows[0])
+	}
+}
+
+func TestLoadBenchFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	rep := NewBenchReport("smoke", nil, sampleRows())
+	rep.Schema = "light-bench/999"
+	if err := WriteBenchFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+}
+
+func TestLoadBenchFileRejectsEditedCounters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_edit.json")
+	rep := NewBenchReport("smoke", nil, sampleRows())
+	if err := WriteBenchFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(string(data), `"matches": 1000`, `"matches": 999`, 1)
+	if edited == string(data) {
+		t.Fatal("edit did not apply")
+	}
+	if err := os.WriteFile(path, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchFile(path); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("edited file accepted: %v", err)
+	}
+}
+
+func TestCompareBenchPassesOnIdenticalReports(t *testing.T) {
+	a := NewBenchReport("smoke", nil, sampleRows())
+	b := NewBenchReport("smoke", nil, sampleRows())
+	c := CompareBench(a, b, 0.15, 25*time.Millisecond)
+	if !c.OK() {
+		t.Fatalf("identical reports flagged: %+v", c)
+	}
+}
+
+// TestCompareBenchCatchesCounterRegression is the injected-regression
+// demonstration the gate is built around: a single drifted deterministic
+// counter must fail the comparison.
+func TestCompareBenchCatchesCounterRegression(t *testing.T) {
+	base := NewBenchReport("smoke", nil, sampleRows())
+	mutations := []func(*BenchRow){
+		func(r *BenchRow) { r.Matches++ },
+		func(r *BenchRow) { r.Nodes-- },
+		func(r *BenchRow) { r.Comps += 5 },
+		func(r *BenchRow) { r.Intersections++ },
+		func(r *BenchRow) { r.Galloping++ },
+		func(r *BenchRow) { r.Elements += 8 },
+		func(r *BenchRow) { r.Mark = "INF" },
+	}
+	for i, mutate := range mutations {
+		rows := sampleRows()
+		mutate(&rows[0])
+		fresh := NewBenchReport("smoke", nil, rows)
+		c := CompareBench(base, fresh, 0.15, 25*time.Millisecond)
+		if len(c.CounterRegressions) == 0 {
+			t.Fatalf("mutation %d not caught", i)
+		}
+		if len(c.WallRegressions) != 0 {
+			t.Fatalf("mutation %d produced wall regressions: %v", i, c.WallRegressions)
+		}
+	}
+}
+
+func TestCompareBenchCatchesMissingAndNewRows(t *testing.T) {
+	base := NewBenchReport("smoke", nil, sampleRows())
+	fresh := NewBenchReport("smoke", nil, sampleRows()[:1])
+	if c := CompareBench(base, fresh, 0.15, 0); len(c.CounterRegressions) != 1 ||
+		!strings.Contains(c.CounterRegressions[0], "not in fresh run") {
+		t.Fatalf("dropped row not caught: %+v", c)
+	}
+	extra := append(sampleRows(), BenchRow{Dataset: "new", Pattern: "P9", System: "X", Matches: 1})
+	fresh = NewBenchReport("smoke", nil, extra)
+	if c := CompareBench(base, fresh, 0.15, 0); len(c.CounterRegressions) != 1 ||
+		!strings.Contains(c.CounterRegressions[0], "not in baseline") {
+		t.Fatalf("new row not caught: %+v", c)
+	}
+}
+
+func TestCompareBenchWallGate(t *testing.T) {
+	base := NewBenchReport("smoke", nil, sampleRows())
+	rows := sampleRows()
+	rows[0].WallNS = rows[0].WallNS * 2 // 100ms → 200ms: way past 15%+slack
+	fresh := NewBenchReport("smoke", nil, rows)
+	c := CompareBench(base, fresh, 0.15, 25*time.Millisecond)
+	if len(c.CounterRegressions) != 0 {
+		t.Fatalf("wall-only change flagged counters: %+v", c.CounterRegressions)
+	}
+	if len(c.WallRegressions) != 1 {
+		t.Fatalf("2x slowdown not caught: %+v", c)
+	}
+
+	// Inside tolerance: 10% slower passes a 15% gate.
+	rows = sampleRows()
+	rows[0].WallNS = rows[0].WallNS * 110 / 100
+	fresh = NewBenchReport("smoke", nil, rows)
+	if c := CompareBench(base, fresh, 0.15, 25*time.Millisecond); !c.OK() {
+		t.Fatalf("10%% slowdown failed a 15%% gate: %+v", c)
+	}
+
+	// The additive slack shields tiny rows from percentage noise: 1ms →
+	// 1.4ms is +40% but far under the 25ms slack.
+	rows = sampleRows()
+	rows[0].WallNS = 1e6
+	base = NewBenchReport("smoke", nil, rows)
+	rows2 := sampleRows()
+	rows2[0].WallNS = 1.4e6
+	fresh = NewBenchReport("smoke", nil, rows2)
+	if c := CompareBench(base, fresh, 0.15, 25*time.Millisecond); !c.OK() {
+		t.Fatalf("sub-slack jitter failed the gate: %+v", c)
+	}
+}

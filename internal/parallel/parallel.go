@@ -35,6 +35,7 @@ import (
 	"light/internal/engine"
 	"light/internal/faultpoint"
 	"light/internal/graph"
+	"light/internal/metrics"
 	"light/internal/plan"
 	"light/internal/supervise"
 )
@@ -100,6 +101,11 @@ type Options struct {
 	// into the returned Result. The plan and graph must match the ones
 	// the checkpoint was written under (verified by fingerprint).
 	Resume *supervise.Checkpoint
+	// Metrics, when non-nil, receives the run's counters: engine work
+	// folded per chunk/frame plus scheduler events (steals, donations,
+	// queue waits, busy time, checkpoint write latency). It overrides
+	// Engine.Metrics so every worker folds into the same recorder.
+	Metrics *metrics.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -127,6 +133,17 @@ type Result struct {
 	// load-balance evidence (static partitioning shows wide spreads on
 	// hub-dominated graphs; work stealing flattens them).
 	PerWorkerNodes []uint64
+	// PerWorkerBusy is the time each worker spent executing root chunks
+	// and donated frames (the per-thread utilization numerator).
+	PerWorkerBusy []time.Duration
+	// QueueWaits counts worker blocking episodes on the frame queue;
+	// QueueWaitTotal is the time spent blocked across all workers.
+	QueueWaits     uint64
+	QueueWaitTotal time.Duration
+	// CheckpointWrites counts checkpoint file writes (periodic + final);
+	// CheckpointWriteTotal is their cumulative latency.
+	CheckpointWrites     uint64
+	CheckpointWriteTotal time.Duration
 }
 
 // Run enumerates pl over g with opts.Workers workers and returns the
@@ -160,6 +177,14 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 	}
 	visit, visitErr := supervise.SafeVisit("visit callback", visit)
 
+	// One recorder for the whole pool: workers fold engine results into
+	// it per chunk/frame, scheduler events hit it from blocking paths.
+	rec := opts.Metrics
+	if rec == nil {
+		rec = opts.Engine.Metrics
+	}
+	opts.Engine.Metrics = rec
+
 	p := &pool{
 		g:     g,
 		pl:    pl,
@@ -184,7 +209,9 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 			var out Result
 			out.Workers = opts.Workers
 			out.PerWorkerNodes = make([]uint64, opts.Workers)
+			out.PerWorkerBusy = make([]time.Duration, opts.Workers)
 			out.Result = base
+			base.AddTo(rec)
 			return out, nil
 		}
 		for _, f := range ck.Frames {
@@ -223,6 +250,7 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 	results := make([]engine.Result, opts.Workers)
 	errs := make([]error, opts.Workers)
 	memBytes := make([]int64, opts.Workers)
+	busys := make([]time.Duration, opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
 		w := w
 		supervise.Go(&wg, fmt.Sprintf("parallel worker %d", w), func(err error) {
@@ -232,7 +260,7 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 			p.stop.Store(true)
 			p.wakeAll()
 		}, func() {
-			results[w], memBytes[w], errs[w] = p.worker(w)
+			results[w], memBytes[w], busys[w], errs[w] = p.worker(w)
 			if errs[w] != nil {
 				p.stop.Store(true)
 				p.wakeAll()
@@ -260,7 +288,7 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 					// the process; it is recorded like any write error and
 					// superseded by the next successful write.
 					p.led.noteWriteErr(supervise.Call("checkpoint write", func() error {
-						return p.writeCheckpoint(false)
+						return p.timedCheckpoint(false)
 					}))
 				case <-ckStop:
 					return
@@ -278,10 +306,12 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 	var out Result
 	out.Workers = opts.Workers
 	out.PerWorkerNodes = make([]uint64, opts.Workers)
+	out.PerWorkerBusy = busys
 	for w := 0; w < opts.Workers; w++ {
 		out.Result.Add(results[w])
 		out.CandidateMemBytes += memBytes[w]
 		out.PerWorkerNodes[w] = results[w].Nodes
+		rec.AddDuration(metrics.ParallelBusyNanos, busys[w])
 	}
 	out.Donations = p.donations.Load()
 	out.Steals = p.steals.Load()
@@ -294,7 +324,7 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 	if opts.Checkpoint != nil {
 		complete := err == nil && !out.Stopped
 		werr := supervise.Call("checkpoint write", func() error {
-			return p.writeCheckpoint(complete)
+			return p.timedCheckpoint(complete)
 		})
 		if werr != nil {
 			err = joinErrors([]error{err, werr})
@@ -304,6 +334,22 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 		err = ctx.Err()
 	}
 	out.Result.Add(base)
+
+	// Scheduler-level counters: pool atomics folded once per run, plus
+	// the resumed checkpoint's committed engine counters.
+	out.QueueWaits = p.qWaits.Load()
+	out.QueueWaitTotal = time.Duration(p.qWaitNS.Load())
+	out.CheckpointWrites = p.ckWrites.Load()
+	out.CheckpointWriteTotal = time.Duration(p.ckWriteNS.Load())
+	rec.Add(metrics.ParallelDonations, out.Donations)
+	rec.Add(metrics.ParallelSteals, out.Steals)
+	rec.Add(metrics.ParallelRootChunks, out.RootChunksDispensed)
+	rec.Add(metrics.ParallelQueueWaits, out.QueueWaits)
+	rec.Add(metrics.ParallelQueueWaitNanos, p.qWaitNS.Load())
+	rec.Add(metrics.CheckpointWrites, out.CheckpointWrites)
+	rec.Add(metrics.CheckpointWriteNanos, p.ckWriteNS.Load())
+	rec.Add(metrics.CheckpointWriteErrors, p.ckWriteErrs.Load())
+	base.AddTo(rec)
 	return out, err
 }
 
@@ -342,9 +388,12 @@ type queuedFrame struct {
 
 // workerState is per-worker scheduler state reachable from the
 // donation hook: the ledger unit of the chunk or frame the worker is
-// currently executing, so donated frames can be parented correctly.
+// currently executing, so donated frames can be parented correctly,
+// and the worker's accumulated busy time (owned by one goroutine, no
+// synchronization needed).
 type workerState struct {
 	unit unitID
+	busy time.Duration
 }
 
 // pool is the shared scheduler state.
@@ -369,14 +418,22 @@ type pool struct {
 
 	donations atomic.Uint64
 	steals    atomic.Uint64
+
+	// Scheduler-event counters folded into the run's metrics recorder
+	// (and the Result) once, at the end of RunContext.
+	qWaits      atomic.Uint64 // blocking episodes in takeFrame
+	qWaitNS     atomic.Uint64 // nanoseconds spent blocked in takeFrame
+	ckWrites    atomic.Uint64 // checkpoint writes attempted
+	ckWriteNS   atomic.Uint64 // cumulative checkpoint write latency
+	ckWriteErrs atomic.Uint64 // checkpoint writes that failed
 }
 
 // worker sets up this worker's enumerator and hands off to the
 // scheduling loop; it returns when the roots are exhausted and the queue
 // stays empty with every other worker idle.
-func (p *pool) worker(idx int) (engine.Result, int64, error) {
+func (p *pool) worker(idx int) (engine.Result, int64, time.Duration, error) {
 	if err := faultpoint.Hit(faultpoint.PointWorkerStart); err != nil {
-		return engine.Result{}, 0, fmt.Errorf("parallel: worker %d start: %w", idx, err)
+		return engine.Result{}, 0, 0, fmt.Errorf("parallel: worker %d start: %w", idx, err)
 	}
 	e := engine.New(p.g, p.pl, p.opts.Engine)
 	e.Stop = &p.stop
@@ -390,15 +447,17 @@ func (p *pool) worker(idx int) (engine.Result, int64, error) {
 		n := len(p.roots)
 		lo := idx * n / p.opts.Workers
 		hi := (idx + 1) * n / p.opts.Workers
+		t0 := time.Now()
 		res, err := e.RunRoots(p.roots[lo:hi], p.visit)
+		ws.busy = time.Since(t0)
 		if err != nil || res.Stopped {
 			p.stop.Store(true)
 		}
 		acc.Add(res)
-		return acc, e.CandidateMemoryBytes(), err
+		return acc, e.CandidateMemoryBytes(), ws.busy, err
 	}
 	acc, err := p.runLoop(e, ws)
-	return acc, e.CandidateMemoryBytes(), err
+	return acc, e.CandidateMemoryBytes(), ws.busy, err
 }
 
 // runLoop is the worker body proper: claim root chunks while any remain,
@@ -419,7 +478,9 @@ func (p *pool) runLoop(e *engine.Enumerator, ws *workerState) (engine.Result, er
 			}
 			p.chunks.Add(1)
 			ws.unit = p.led.beginChunk(lo, hi)
+			t0 := time.Now()
 			res, err := e.RunRoots(p.roots[lo:hi], p.visit)
+			ws.busy += time.Since(t0)
 			acc.Add(res)
 			if err != nil || res.Stopped {
 				p.stop.Store(true)
@@ -441,7 +502,9 @@ func (p *pool) runLoop(e *engine.Enumerator, ws *workerState) (engine.Result, er
 		}
 		p.steals.Add(1)
 		ws.unit = qf.unit
+		t0 := time.Now()
 		res, err := e.Resume(qf.f, p.visit)
+		ws.busy += time.Since(t0)
 		acc.Add(res)
 		if err != nil || res.Stopped {
 			p.stop.Store(true)
@@ -483,17 +546,21 @@ func (p *pool) makeHook(ws *workerState) engine.MatHook {
 }
 
 // takeFrame blocks until a frame is available or the pool terminates.
+// Each blocking episode (one takeFrame call that had to Wait, however
+// many spurious wakeups it saw) counts as one queue wait.
 func (p *pool) takeFrame() (queuedFrame, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.idle++
 	p.hungry.Add(1)
+	var waitStart time.Time
 	for {
 		if len(p.queue) > 0 {
 			qf := p.queue[len(p.queue)-1]
 			p.queue = p.queue[:len(p.queue)-1]
 			p.idle--
 			p.hungry.Add(-1)
+			p.noteWait(waitStart)
 			return qf, true
 		}
 		if p.finished || p.stop.Load() || p.idle == p.opts.Workers {
@@ -503,9 +570,22 @@ func (p *pool) takeFrame() (queuedFrame, bool) {
 			p.cond.Broadcast()
 			p.idle--
 			p.hungry.Add(-1)
+			p.noteWait(waitStart)
 			return queuedFrame{}, false
 		}
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+			p.qWaits.Add(1)
+		}
 		p.cond.Wait()
+	}
+}
+
+// noteWait records the blocked span of one takeFrame episode; start is
+// zero when the call never blocked.
+func (p *pool) noteWait(start time.Time) {
+	if !start.IsZero() {
+		p.qWaitNS.Add(uint64(time.Since(start)))
 	}
 }
 
@@ -521,4 +601,18 @@ func (p *pool) writeCheckpoint(complete bool) error {
 	ck := p.led.snapshot(p.cursor.Load())
 	ck.Complete = complete
 	return ck.Save(p.opts.Checkpoint.Path)
+}
+
+// timedCheckpoint wraps writeCheckpoint with write-latency accounting.
+// A panicking write skips the accounting — the supervising Call converts
+// it to an error above this frame.
+func (p *pool) timedCheckpoint(complete bool) error {
+	t0 := time.Now()
+	err := p.writeCheckpoint(complete)
+	p.ckWrites.Add(1)
+	p.ckWriteNS.Add(uint64(time.Since(t0)))
+	if err != nil {
+		p.ckWriteErrs.Add(1)
+	}
+	return err
 }

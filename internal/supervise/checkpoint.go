@@ -14,13 +14,14 @@ import (
 	"light/internal/plan"
 )
 
-// Checkpoint file format (little-endian, version 1):
+// Checkpoint file format (little-endian, version 2):
 //
 //	u32 magic "LCKP", u32 version
 //	u64 fingerprint   (plan+graph binding, see Fingerprint)
 //	u64 cursor        (root cursor at capture, informational)
 //	u8  complete
 //	u64 matches, u64 nodes, u64 intersections, u64 galloping
+//	u64 elements, u64 comps       (version ≥ 2 only)
 //	u32 nDone,   then nDone × (u32 lo, u32 hi)
 //	u32 nFrames, then nFrames × frame
 //	u32 CRC32 (IEEE) of everything above
@@ -30,9 +31,12 @@ import (
 //	u32 nAssigned × u32,
 //	u32 nCands × (u8 present [, u32 len × u32]),
 //	u32 nRemaining × u32
+//
+// Version 1 files (written before the elements/comps counters existed)
+// are still readable; the missing counters load as zero.
 const (
 	ckptMagic   = 0x4c434b50 // "LCKP"
-	ckptVersion = 1
+	ckptVersion = 2
 )
 
 // RootRange is a half-open range [Lo, Hi) of root vertex ids whose
@@ -135,6 +139,8 @@ func (c *Checkpoint) encode() []byte {
 	e.u64(c.Base.Nodes)
 	e.u64(c.Base.Stats.Intersections)
 	e.u64(c.Base.Stats.Galloping)
+	e.u64(c.Base.Stats.Elements)
+	e.u64(c.Base.Comps)
 	e.u32(uint32(len(c.Done)))
 	for _, r := range c.Done {
 		e.u32(r.Lo)
@@ -287,8 +293,9 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if magic := d.u32("magic"); d.err == nil && magic != ckptMagic {
 		return nil, fmt.Errorf("supervise: %s is not a checkpoint (magic %#x)", path, magic)
 	}
-	if v := d.u32("version"); d.err == nil && v != ckptVersion {
-		return nil, fmt.Errorf("supervise: checkpoint %s: unsupported version %d", path, v)
+	version := d.u32("version")
+	if d.err == nil && (version < 1 || version > ckptVersion) {
+		return nil, fmt.Errorf("supervise: checkpoint %s: unsupported version %d", path, version)
 	}
 	c := &Checkpoint{}
 	c.Fingerprint = d.u64("fingerprint")
@@ -298,6 +305,10 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	c.Base.Nodes = d.u64("nodes")
 	c.Base.Stats.Intersections = d.u64("intersections")
 	c.Base.Stats.Galloping = d.u64("galloping")
+	if version >= 2 {
+		c.Base.Stats.Elements = d.u64("elements")
+		c.Base.Comps = d.u64("comps")
+	}
 	nDone := d.count("done ranges", 8)
 	for i := 0; i < nDone && d.err == nil; i++ {
 		r := RootRange{Lo: d.u32("range lo"), Hi: d.u32("range hi")}

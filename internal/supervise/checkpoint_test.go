@@ -9,6 +9,7 @@ import (
 	"light/internal/engine"
 	"light/internal/gen"
 	"light/internal/graph"
+	"light/internal/intersect"
 	"light/internal/pattern"
 	"light/internal/plan"
 )
@@ -20,6 +21,8 @@ func sampleCheckpoint() *Checkpoint {
 		Base: engine.Result{
 			Matches: 123,
 			Nodes:   456,
+			Comps:   78,
+			Stats:   intersect.Stats{Intersections: 40, Galloping: 9, Elements: 8000},
 		},
 		Done: []RootRange{{Lo: 0, Hi: 10}, {Lo: 14, Hi: 30}},
 		Frames: []*engine.Frame{

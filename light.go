@@ -34,6 +34,7 @@ import (
 	"light/internal/estimate"
 	"light/internal/graph"
 	"light/internal/intersect"
+	"light/internal/metrics"
 	"light/internal/parallel"
 	"light/internal/pattern"
 	"light/internal/plan"
@@ -330,6 +331,10 @@ type Result struct {
 	CandidateMemoryBytes int64
 	// Stopped reports that the visitor ended the run early.
 	Stopped bool
+	// Report is the full structured metrics report of the run (counter
+	// registry snapshot plus scheduler observability); always non-nil on
+	// a run that started, nil only when setup failed.
+	Report *RunReport
 }
 
 // preparePlan compiles the pattern under the options.
@@ -387,10 +392,12 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 	if err != nil {
 		return Result{}, err
 	}
+	rec := metrics.NewRecorder()
 	eopts := engine.Options{
 		Kernel:    opts.Intersection.kind(),
 		TimeLimit: opts.TimeLimit,
 		TailCount: opts.TailCount,
+		Metrics:   rec,
 	}
 	start := time.Now()
 	var res Result
@@ -400,7 +407,7 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 	// Checkpointing and resume live in the parallel scheduler's ledger,
 	// so either option routes through it even for a single worker.
 	if opts.Workers > 1 || opts.CheckpointPath != "" || opts.ResumeFrom != "" {
-		popts := parallel.Options{Engine: eopts, Workers: opts.Workers}
+		popts := parallel.Options{Engine: eopts, Workers: opts.Workers, Metrics: rec}
 		if opts.CheckpointPath != "" {
 			popts.Checkpoint = &parallel.CheckpointOptions{
 				Path:     opts.CheckpointPath,
@@ -420,6 +427,7 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 		pres, err := parallel.RunContext(ctx, g.g, pl, popts, visit)
 		res = fill(res, pres.Result, time.Since(start))
 		res.CandidateMemoryBytes = pres.CandidateMemBytes
+		res.Report = newRunReport(rec, opts, pres.Workers, res.Duration, res.CandidateMemoryBytes, &pres)
 		return res, mapErr(err)
 	}
 
@@ -437,6 +445,7 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 	})
 	res = fill(res, eres, time.Since(start))
 	res.CandidateMemoryBytes = e.CandidateMemoryBytes()
+	res.Report = newRunReport(rec, opts, 1, res.Duration, res.CandidateMemoryBytes, nil)
 	if verr := visitErr(); verr != nil {
 		err = verr
 	}

@@ -1,0 +1,119 @@
+package light
+
+import (
+	"time"
+
+	"light/internal/metrics"
+	"light/internal/parallel"
+)
+
+// RunReportSchema is the version tag carried by every RunReport; bump it
+// when the report layout changes incompatibly.
+const RunReportSchema = "light-report/1"
+
+// RunReport is the structured metrics report of one Count/Enumerate
+// run, built from the internal counter registry. The engine counters
+// (matches, nodes, comps, intersections, galloping, merges, elements)
+// are deterministic for a given (graph, pattern, options) configuration
+// — independent of worker count and scheduling — while the parallel and
+// checkpoint counters describe this specific run. `lightenum -stats`
+// prints it as JSON.
+type RunReport struct {
+	// Schema is the report format version (RunReportSchema).
+	Schema string `json:"schema"`
+	// Algorithm is the enumeration algorithm name (LIGHT, SE, LM, MSC).
+	Algorithm string `json:"algorithm"`
+	// Kernel is the set-intersection kernel name.
+	Kernel string `json:"kernel"`
+	// Workers is the number of workers the run used.
+	Workers int `json:"workers"`
+	// WallNS is the wall-clock enumeration time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+
+	// Matches is the number of subgraphs found.
+	Matches uint64 `json:"matches"`
+	// Nodes is the number of search-tree nodes expanded.
+	Nodes uint64 `json:"nodes"`
+	// Comps is the number of COMP (candidate-set) operations executed.
+	Comps uint64 `json:"comps"`
+	// Intersections is the number of pairwise set intersections.
+	Intersections uint64 `json:"intersections"`
+	// Galloping is how many intersections took the galloping path.
+	Galloping uint64 `json:"galloping"`
+	// Merges is how many intersections took a merge path.
+	Merges uint64 `json:"merges"`
+	// Elements is the total input elements scanned across intersections.
+	Elements uint64 `json:"elements"`
+	// GallopingPercent is 100·Galloping/Intersections (Table III).
+	GallopingPercent float64 `json:"galloping_percent"`
+
+	// Donations counts frames pushed to the work-stealing queue.
+	Donations uint64 `json:"donations,omitempty"`
+	// Steals counts frames executed by a worker other than the donor.
+	Steals uint64 `json:"steals,omitempty"`
+	// RootChunks counts root chunks dispensed by the scheduler.
+	RootChunks uint64 `json:"root_chunks,omitempty"`
+	// QueueWaits counts worker blocking episodes on the frame queue.
+	QueueWaits uint64 `json:"queue_waits,omitempty"`
+	// QueueWaitNS is the total time workers spent blocked, in ns.
+	QueueWaitNS uint64 `json:"queue_wait_ns,omitempty"`
+	// BusyNS is the total time workers spent executing work, in ns.
+	BusyNS uint64 `json:"busy_ns,omitempty"`
+	// PerWorkerNodes is the nodes each worker expanded (load balance).
+	PerWorkerNodes []uint64 `json:"per_worker_nodes,omitempty"`
+	// PerWorkerBusyNS is the busy time of each worker, in ns.
+	PerWorkerBusyNS []int64 `json:"per_worker_busy_ns,omitempty"`
+
+	// CheckpointWrites counts checkpoint file writes (periodic + final).
+	CheckpointWrites uint64 `json:"checkpoint_writes,omitempty"`
+	// CheckpointWriteNS is the cumulative checkpoint write latency in ns.
+	CheckpointWriteNS uint64 `json:"checkpoint_write_ns,omitempty"`
+	// CheckpointWriteErrors counts failed checkpoint writes.
+	CheckpointWriteErrors uint64 `json:"checkpoint_write_errors,omitempty"`
+
+	// CandidateMemoryBytes is the candidate-buffer memory across workers.
+	CandidateMemoryBytes int64 `json:"candidate_memory_bytes"`
+}
+
+// newRunReport assembles the public report from the run's recorder plus
+// the scheduler extras only the parallel result carries.
+func newRunReport(rec *metrics.Recorder, opts Options, workers int, d time.Duration, memBytes int64, pres *parallel.Result) *RunReport {
+	r := &RunReport{
+		Schema:        RunReportSchema,
+		Algorithm:     opts.Algorithm.String(),
+		Kernel:        opts.Intersection.String(),
+		Workers:       workers,
+		WallNS:        int64(d),
+		Matches:       rec.Get(metrics.EngineMatches),
+		Nodes:         rec.Get(metrics.EngineNodes),
+		Comps:         rec.Get(metrics.EngineComps),
+		Intersections: rec.Get(metrics.IntersectOps),
+		Galloping:     rec.Get(metrics.IntersectGalloping),
+		Merges:        rec.Get(metrics.IntersectMerge),
+		Elements:      rec.Get(metrics.IntersectElements),
+
+		Donations:   rec.Get(metrics.ParallelDonations),
+		Steals:      rec.Get(metrics.ParallelSteals),
+		RootChunks:  rec.Get(metrics.ParallelRootChunks),
+		QueueWaits:  rec.Get(metrics.ParallelQueueWaits),
+		QueueWaitNS: rec.Get(metrics.ParallelQueueWaitNanos),
+		BusyNS:      rec.Get(metrics.ParallelBusyNanos),
+
+		CheckpointWrites:      rec.Get(metrics.CheckpointWrites),
+		CheckpointWriteNS:     rec.Get(metrics.CheckpointWriteNanos),
+		CheckpointWriteErrors: rec.Get(metrics.CheckpointWriteErrors),
+
+		CandidateMemoryBytes: memBytes,
+	}
+	if r.Intersections > 0 {
+		r.GallopingPercent = 100 * float64(r.Galloping) / float64(r.Intersections)
+	}
+	if pres != nil {
+		r.PerWorkerNodes = pres.PerWorkerNodes
+		r.PerWorkerBusyNS = make([]int64, len(pres.PerWorkerBusy))
+		for i, b := range pres.PerWorkerBusy {
+			r.PerWorkerBusyNS[i] = int64(b)
+		}
+	}
+	return r
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench_gate.sh — run the deterministic smoke-benchmark suite and gate
+# it against the committed baseline (bench/BENCH_smoke.json).
+#
+# Deterministic work counters are gated on exact equality; wall-clock
+# times are gated with lightbench's tolerance unless -advisory-time is
+# passed (recommended on shared CI runners). Extra arguments are passed
+# through to `lightbench -compare`.
+#
+# Environment overrides (used by tests and CI):
+#   BENCH_GATE_BASELINE  baseline report path (default bench/BENCH_smoke.json)
+#   BENCH_GATE_FRESH     fresh report path; if the file already exists it
+#                        is gated as-is, otherwise the suite runs into it
+#   LIGHTBENCH_BIN       prebuilt lightbench binary (default: go run)
+#
+# Refresh the baseline after an intentional behaviour change with:
+#   go run ./cmd/lightbench -out bench/BENCH_smoke.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${BENCH_GATE_BASELINE:-bench/BENCH_smoke.json}"
+FRESH="${BENCH_GATE_FRESH:-}"
+
+run_lightbench() {
+  if [ -n "${LIGHTBENCH_BIN:-}" ]; then
+    "$LIGHTBENCH_BIN" "$@"
+  else
+    go run ./cmd/lightbench "$@"
+  fi
+}
+
+if [ ! -f "$BASELINE" ]; then
+  echo "bench_gate: baseline $BASELINE not found" >&2
+  echo "bench_gate: generate it with: go run ./cmd/lightbench -out $BASELINE" >&2
+  exit 2
+fi
+
+if [ -z "$FRESH" ]; then
+  FRESH="$(mktemp -d)/BENCH_smoke_fresh.json"
+fi
+if [ ! -f "$FRESH" ]; then
+  echo "bench_gate: running smoke suite -> $FRESH"
+  run_lightbench -out "$FRESH"
+fi
+
+run_lightbench -compare "$@" "$BASELINE" "$FRESH"

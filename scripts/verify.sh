@@ -19,16 +19,16 @@ go vet ./...
 echo "==> lightvet ./..."
 go run ./cmd/lightvet ./...
 
-echo "==> go test ./..."
-go test "${SHORT[@]}" ./...
+echo "==> go test -count=1 -shuffle=on ./..."
+go test -count=1 -shuffle=on "${SHORT[@]}" ./...
 
-echo "==> go test -race (parallel, engine)"
-go test -race "${SHORT[@]}" ./internal/parallel/... ./internal/engine/...
+echo "==> go test -race (parallel, engine, metrics)"
+go test -race "${SHORT[@]}" ./internal/parallel/... ./internal/engine/... ./internal/metrics/...
 
 echo "==> chaos: go test -race -tags faultinject"
 go build -tags faultinject ./...
 go test -race -tags faultinject "${SHORT[@]}" \
-    ./internal/faultpoint/ ./internal/parallel/ ./internal/supervise/ ./internal/graph/
+    ./internal/faultpoint/ ./internal/parallel/ ./internal/supervise/ ./internal/graph/ ./internal/engine/
 
 echo "==> fuzz smoke: FuzzCSRRoundTrip (10s)"
 go test ./internal/graph/ -run FuzzCSRRoundTrip -fuzz FuzzCSRRoundTrip -fuzztime 10s
