@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-cases", "6", "-quick", "-seed", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "0 discrepancies") {
+		t.Fatalf("missing summary line: %s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownFamily(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-families", "er,bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown family") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+func TestRunVerboseAndFamilyFilter(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-cases", "3", "-quick", "-v", "-families", "clique,ties"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "clique") && !strings.Contains(out.String(), "ties") {
+		t.Fatalf("verbose output missing family names: %s", out.String())
+	}
+}

@@ -1,0 +1,209 @@
+package diffcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDifferentialSeeded is the deterministic core of the harness: a
+// fixed grid of seeds across every family, full oracle matrix, zero
+// discrepancies expected. -short trims the grid and the matrix.
+func TestDifferentialSeeded(t *testing.T) {
+	seedsPerFamily := 8
+	cfg := Config{}
+	if testing.Short() {
+		seedsPerFamily = 3
+		cfg.Quick = true
+	}
+	executed, skipped := 0, 0
+	for _, fam := range Families {
+		for s := 0; s < seedsPerFamily; s++ {
+			c, err := GenerateCase(fam, int64(1000*s+17))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, d := RunCase(c, cfg)
+			if d != nil {
+				t.Fatalf("discrepancy:\n%v\n\nminimal repro:\n%s", d, ReproTest(ShrinkDiscrepancy(d, cfg)))
+			}
+			if out.Skipped {
+				skipped++
+				continue
+			}
+			executed++
+			if out.Checks < 5 {
+				t.Fatalf("%s/%d: only %d oracle comparisons ran", fam, s, out.Checks)
+			}
+		}
+	}
+	if executed < len(Families) {
+		t.Fatalf("only %d cases executed (%d skipped): families are over-generating capped cases", executed, skipped)
+	}
+	t.Logf("executed %d cases, skipped %d", executed, skipped)
+}
+
+// TestRunCaseKnownCounts pins the harness itself on hand-computable
+// cases, so a bug that silently skips every comparison cannot hide.
+func TestRunCaseKnownCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Case
+		ref  uint64
+	}{
+		{
+			// Triangles in K4: C(4,3) = 4.
+			name: "triangle-in-K4",
+			c: Case{
+				GraphN:       4,
+				GraphEdges:   [][2]uint32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}},
+				PatternN:     3,
+				PatternEdges: [][2]int{{0, 1}, {1, 2}, {0, 2}},
+			},
+			ref: 4,
+		},
+		{
+			// Edges in a 4-cycle: 4.
+			name: "edge-in-C4",
+			c: Case{
+				GraphN:       4,
+				GraphEdges:   [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {0, 3}},
+				PatternN:     2,
+				PatternEdges: [][2]int{{0, 1}},
+			},
+			ref: 4,
+		},
+		{
+			// Paths of length 2 in a triangle: one per choice of center = 3.
+			name: "path2-in-triangle",
+			c: Case{
+				GraphN:       3,
+				GraphEdges:   [][2]uint32{{0, 1}, {1, 2}, {0, 2}},
+				PatternN:     3,
+				PatternEdges: [][2]int{{0, 1}, {1, 2}},
+			},
+			ref: 3,
+		},
+	}
+	for _, tc := range cases {
+		out, d := RunCase(tc.c, Config{})
+		if d != nil {
+			t.Fatalf("%s: %v", tc.name, d)
+		}
+		if out.Skipped {
+			t.Fatalf("%s: skipped: %s", tc.name, out.Reason)
+		}
+		if out.Ref != tc.ref {
+			t.Fatalf("%s: reference count %d, want %d", tc.name, out.Ref, tc.ref)
+		}
+	}
+}
+
+// TestOracleIndependents pins the reference pieces directly.
+func TestOracleIndependents(t *testing.T) {
+	// Triangle: 3! = 6 automorphisms; path of 2 edges: 2.
+	if got := autCount(3, [][2]int{{0, 1}, {1, 2}, {0, 2}}); got != 6 {
+		t.Fatalf("|Aut(triangle)| = %d, want 6", got)
+	}
+	if got := autCount(3, [][2]int{{0, 1}, {1, 2}}); got != 2 {
+		t.Fatalf("|Aut(P3)| = %d, want 2", got)
+	}
+	// Embeddings of the triangle in K4: 4 * 3! = 24, and 4 distinct
+	// image edge sets.
+	r := countEmbeddings(4, [][2]uint32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}},
+		3, [][2]int{{0, 1}, {1, 2}, {0, 2}}, 1000, true)
+	if r.Embeddings != 24 || len(r.Keys) != 4 || r.Capped {
+		t.Fatalf("triangle in K4: emb=%d keys=%d capped=%v, want 24/4/false", r.Embeddings, len(r.Keys), r.Capped)
+	}
+	// The cap must trip, not hang, on an explosive case.
+	big := countEmbeddings(4, [][2]uint32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}},
+		3, [][2]int{{0, 1}, {1, 2}, {0, 2}}, 10, false)
+	if !big.Capped {
+		t.Fatal("embedding cap did not trip")
+	}
+}
+
+// TestShrinkSyntheticBug checks the shrinker's contract against a
+// synthetic predicate: "fails" iff the graph still contains a triangle
+// and the pattern has an edge. The minimal such case is K3 with a
+// single-edge... pattern of 2 vertices; the shrinker must get close.
+func TestShrinkSyntheticBug(t *testing.T) {
+	c, err := GenerateCase("er", 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasTriangle := func(m Case) bool {
+		adj := map[[2]uint32]bool{}
+		for _, e := range m.GraphEdges {
+			adj[[2]uint32{e[0], e[1]}] = true
+			adj[[2]uint32{e[1], e[0]}] = true
+		}
+		for _, e := range m.GraphEdges {
+			for w := uint32(0); w < uint32(m.GraphN); w++ {
+				if adj[[2]uint32{e[0], w}] && adj[[2]uint32{e[1], w}] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	fails := func(m Case) bool { return hasTriangle(m) && len(m.PatternEdges) > 0 }
+	if !fails(c) {
+		t.Skip("seed produced a triangle-free ER graph")
+	}
+	s := Shrink(c, fails, 10000)
+	if !fails(s) {
+		t.Fatal("shrinker returned a passing case")
+	}
+	if s.GraphN != 3 || len(s.GraphEdges) != 3 {
+		t.Fatalf("shrunk graph is %d vertices / %d edges, want the bare triangle", s.GraphN, len(s.GraphEdges))
+	}
+	if s.PatternN != 2 || len(s.PatternEdges) != 1 {
+		t.Fatalf("shrunk pattern is %d vertices / %d edges, want a single edge", s.PatternN, len(s.PatternEdges))
+	}
+}
+
+// TestReproTestRendering checks the repro emitter produces a paste-able
+// test mentioning every structural element.
+func TestReproTestRendering(t *testing.T) {
+	c := Case{
+		Family: "shrunk:er", Seed: 7,
+		GraphN: 3, GraphEdges: [][2]uint32{{0, 1}, {1, 2}, {0, 2}},
+		PatternN: 3, PatternEdges: [][2]int{{0, 1}, {1, 2}, {0, 2}},
+	}
+	s := ReproTest(c)
+	for _, want := range []string{
+		"func TestDiffcheckRepro(t *testing.T)",
+		"diffcheck.Case{",
+		"GraphN: 3",
+		"PatternN: 3",
+		"{1, 2},",
+		"diffcheck.RunCase(c, diffcheck.Config{})",
+		"t.Fatal(d)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("repro test missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestGenerateCaseValidity: every family must produce a buildable,
+// connected-pattern case for a spread of seeds.
+func TestGenerateCaseValidity(t *testing.T) {
+	for _, fam := range Families {
+		for s := int64(0); s < 5; s++ {
+			c, err := GenerateCase(fam, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("%s/%d: %v", fam, s, err)
+			}
+			if _, _, err := c.Build(); err != nil {
+				t.Fatalf("%s/%d: %v", fam, s, err)
+			}
+		}
+	}
+	if _, err := GenerateCase("nope", 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

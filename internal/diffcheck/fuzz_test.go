@@ -1,0 +1,71 @@
+package diffcheck
+
+import (
+	"testing"
+)
+
+// FuzzDifferential decodes arbitrary bytes into a (pattern, graph)
+// case and runs the quick oracle matrix: any disagreement between the
+// reference and the engine is a crash. The decoder always produces a
+// connected pattern (spanning tree first), so nearly every input
+// exercises real enumeration instead of dying in validation.
+func FuzzDifferential(f *testing.F) {
+	f.Add([]byte{4, 10, 1, 2, 3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{3, 6, 0, 0, 0, 1, 2, 3, 4, 5})
+	f.Add([]byte{7, 20, 9, 9, 9, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, ok := decodeCase(data)
+		if !ok {
+			return
+		}
+		cfg := Config{Quick: true, MaxEmbeddings: 50000}
+		_, d := RunCase(c, cfg)
+		if d != nil {
+			t.Fatalf("discrepancy:\n%v\n\nminimal repro:\n%s", d, ReproTest(ShrinkDiscrepancy(d, cfg)))
+		}
+	})
+}
+
+// decodeCase maps raw fuzz bytes onto a valid case: byte 0 sizes the
+// pattern (3–7), byte 1 the graph (4–35), and the rest alternate
+// between pattern chords and graph edges, with a spanning tree over
+// both laid down first so everything stays connected and in range.
+func decodeCase(data []byte) (Case, bool) {
+	if len(data) < 6 {
+		return Case{}, false
+	}
+	pn := 3 + int(data[0])%5
+	gn := 4 + int(data[1])%32
+	c := Case{Family: "fuzz", GraphN: gn, PatternN: pn}
+	// Pattern spanning tree: vertex v attaches to data-chosen earlier
+	// vertex.
+	pos := 2
+	next := func() int {
+		if pos >= len(data) {
+			return 0
+		}
+		b := int(data[pos])
+		pos++
+		return b
+	}
+	for v := 1; v < pn; v++ {
+		c.PatternEdges = append(c.PatternEdges, [2]int{next() % v, v})
+	}
+	// Graph path backbone keeps the data graph from degenerating to
+	// isolated vertices.
+	for v := 1; v < gn; v++ {
+		c.GraphEdges = append(c.GraphEdges, [2]uint32{uint32(v - 1), uint32(v)})
+	}
+	// Remaining bytes alternate: pattern chord, then graph chord pairs.
+	for pos+2 < len(data) {
+		pu, pv := next()%pn, next()%pn
+		if pu != pv {
+			c.PatternEdges = append(c.PatternEdges, [2]int{pu, pv})
+		}
+		gu, gv := next()%gn, next()%gn
+		if gu != gv {
+			c.GraphEdges = append(c.GraphEdges, [2]uint32{uint32(gu), uint32(gv)})
+		}
+	}
+	return c, c.Validate() == nil
+}

@@ -1,0 +1,157 @@
+package diffcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shrink greedily minimizes a failing case while fails(c) stays true:
+// it repeatedly tries deleting a graph vertex, a pattern vertex, a
+// graph edge, or a pattern edge (in that order — vertex deletions
+// shrink fastest), accepting any mutation that still fails, until a
+// full pass accepts nothing or the evaluation budget runs out. The
+// predicate is a parameter so tests can shrink against synthetic bugs;
+// production callers use ShrinkDiscrepancy.
+func Shrink(c Case, fails func(Case) bool, budget int) Case {
+	evals := 0
+	try := func(m Case) bool {
+		if evals >= budget {
+			return false
+		}
+		if m.Validate() != nil {
+			return false
+		}
+		evals++
+		return fails(m)
+	}
+	for {
+		improved := false
+		for v := c.GraphN - 1; v >= 0 && c.GraphN > 1; v-- {
+			if m := removeGraphVertex(c, uint32(v)); try(m) {
+				c, improved = m, true
+			}
+		}
+		for v := c.PatternN - 1; v >= 0 && c.PatternN > 2; v-- {
+			if m := removePatternVertex(c, v); try(m) {
+				c, improved = m, true
+			}
+		}
+		for i := len(c.GraphEdges) - 1; i >= 0; i-- {
+			if m := removeGraphEdge(c, i); try(m) {
+				c, improved = m, true
+			}
+		}
+		for i := len(c.PatternEdges) - 1; i >= 0; i-- {
+			if m := removePatternEdge(c, i); try(m) {
+				c, improved = m, true
+			}
+		}
+		if !improved || evals >= budget {
+			return c
+		}
+	}
+}
+
+// ShrinkDiscrepancy minimizes the case behind d using the quick matrix
+// (any discrepancy counts, not just the original stage — standard
+// shrinking practice) and returns the reduced case. The original is
+// returned unchanged when no smaller failing case is found.
+func ShrinkDiscrepancy(d *Discrepancy, cfg Config) Case {
+	quick := cfg
+	quick.Quick = true
+	if quick.MaxEmbeddings == 0 || quick.MaxEmbeddings > 100000 {
+		quick.MaxEmbeddings = 100000
+	}
+	c := Shrink(d.Case, func(m Case) bool {
+		_, md := RunCase(m, quick)
+		return md != nil
+	}, 600)
+	if c.GraphN != d.Case.GraphN || len(c.GraphEdges) != len(d.Case.GraphEdges) ||
+		c.PatternN != d.Case.PatternN || len(c.PatternEdges) != len(d.Case.PatternEdges) {
+		c.Family = "shrunk:" + d.Case.Family
+	}
+	return c
+}
+
+func removeGraphVertex(c Case, v uint32) Case {
+	m := c
+	m.GraphN = c.GraphN - 1
+	m.GraphEdges = nil
+	for _, e := range c.GraphEdges {
+		if e[0] == v || e[1] == v {
+			continue
+		}
+		a, b := e[0], e[1]
+		if a > v {
+			a--
+		}
+		if b > v {
+			b--
+		}
+		m.GraphEdges = append(m.GraphEdges, [2]uint32{a, b})
+	}
+	return m
+}
+
+func removePatternVertex(c Case, v int) Case {
+	m := c
+	m.PatternN = c.PatternN - 1
+	m.PatternEdges = nil
+	for _, e := range c.PatternEdges {
+		if e[0] == v || e[1] == v {
+			continue
+		}
+		a, b := e[0], e[1]
+		if a > v {
+			a--
+		}
+		if b > v {
+			b--
+		}
+		m.PatternEdges = append(m.PatternEdges, [2]int{a, b})
+	}
+	return m
+}
+
+func removeGraphEdge(c Case, i int) Case {
+	m := c
+	m.GraphEdges = append(append([][2]uint32{}, c.GraphEdges[:i]...), c.GraphEdges[i+1:]...)
+	return m
+}
+
+func removePatternEdge(c Case, i int) Case {
+	m := c
+	m.PatternEdges = append(append([][2]int{}, c.PatternEdges[:i]...), c.PatternEdges[i+1:]...)
+	return m
+}
+
+// ReproTest renders the case as a self-contained Go test, ready to
+// paste into internal/diffcheck, so a discrepancy found by the CLI or
+// the fuzzer becomes a checked-in regression test verbatim.
+func ReproTest(c Case) string {
+	var sb strings.Builder
+	sb.WriteString("func TestDiffcheckRepro(t *testing.T) {\n")
+	fmt.Fprintf(&sb, "\tc := diffcheck.Case{\n")
+	fmt.Fprintf(&sb, "\t\tFamily: %q, Seed: %d,\n", c.Family, c.Seed)
+	fmt.Fprintf(&sb, "\t\tGraphN: %d,\n", c.GraphN)
+	sb.WriteString("\t\tGraphEdges: [][2]uint32{")
+	for i, e := range c.GraphEdges {
+		if i%8 == 0 {
+			sb.WriteString("\n\t\t\t")
+		}
+		fmt.Fprintf(&sb, "{%d, %d}, ", e[0], e[1])
+	}
+	sb.WriteString("\n\t\t},\n")
+	fmt.Fprintf(&sb, "\t\tPatternN: %d,\n", c.PatternN)
+	sb.WriteString("\t\tPatternEdges: [][2]int{")
+	for i, e := range c.PatternEdges {
+		if i%8 == 0 {
+			sb.WriteString("\n\t\t\t")
+		}
+		fmt.Fprintf(&sb, "{%d, %d}, ", e[0], e[1])
+	}
+	sb.WriteString("\n\t\t},\n\t}\n")
+	sb.WriteString("\tif _, d := diffcheck.RunCase(c, diffcheck.Config{}); d != nil {\n")
+	sb.WriteString("\t\tt.Fatal(d)\n\t}\n}\n")
+	return sb.String()
+}

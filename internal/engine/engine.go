@@ -12,6 +12,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 	"time"
 
@@ -36,6 +37,11 @@ type Options struct {
 	// KindMerge, the paper's serial baseline configuration).
 	Kernel intersect.Kind
 	// Delta is the Hybrid threshold δ (default intersect.DefaultDelta).
+	// Valid values are non-negative: 0 selects the default, positive
+	// values set the skew ratio at which Hybrid kernels switch to
+	// galloping. Negative values are rejected by New — they would make
+	// every cardinality pair look skewed, silently degrading the Hybrid
+	// kernels to pure Galloping.
 	Delta int
 	// TimeLimit aborts the run with ErrTimeLimit when positive. The
 	// clock starts at each Run/RunRoots/Resume call.
@@ -142,11 +148,21 @@ type Enumerator struct {
 	visit    VisitFunc
 	result   Result
 	deadline time.Time
+	// polls counts checkDeadline calls; the poll cadence is keyed to it
+	// rather than to Result.Nodes, which tailCount advances in batches
+	// that can step over any fixed residue forever.
+	polls    uint64
 	err      error
 }
 
-// New prepares an Enumerator for repeated runs of pl over g.
+// New prepares an Enumerator for repeated runs of pl over g. It panics
+// on invalid options (negative Delta): that is a programming error, and
+// returning a degraded enumerator would silently change every Hybrid
+// kernel into pure Galloping.
 func New(g *graph.Graph, pl *plan.Plan, opts Options) *Enumerator {
+	if opts.Delta < 0 {
+		panic(fmt.Sprintf("engine: Options.Delta is %d, must be non-negative (0 selects the default δ=%d)", opts.Delta, intersect.DefaultDelta))
+	}
 	opts = opts.withDefaults()
 	n := pl.Pattern.NumVertices()
 	dmax := g.MaxDegree()
@@ -265,8 +281,20 @@ func (f *Frame) Validate(pl *plan.Plan, g *graph.Graph) error {
 	if len(f.Assigned) != n {
 		return fmt.Errorf("engine: frame assigns %d of %d pattern vertices", len(f.Assigned), n)
 	}
+	// The mask must fit the pattern (guarded arithmetic: for n == 32
+	// every uint32 is in range, and 1<<32 would overflow the shift) and
+	// agree exactly with σ: a frame suspended at σ[SigmaIdx] has
+	// materialized precisely the vertices whose MAT precedes it, root
+	// included — so popcount(MatMask) equals the number of earlier MATs
+	// and the bits identify them. A corrupt checkpoint whose mask
+	// disagrees with the σ prefix would otherwise resume with injectivity
+	// and symmetry-breaking checks applied to the wrong vertices.
 	if n < 32 && f.MatMask >= 1<<uint(n) {
 		return fmt.Errorf("engine: frame mask %#x exceeds pattern size %d", f.MatMask, n)
+	}
+	if want := pl.MatMaskBefore(f.SigmaIdx); f.MatMask != want {
+		return fmt.Errorf("engine: frame mask %#x inconsistent with σ[:%d] (want %#x: %d MATs incl. root)",
+			f.MatMask, f.SigmaIdx, want, bits.OnesCount32(want))
 	}
 	if len(f.Cands) != n {
 		return fmt.Errorf("engine: frame carries %d of %d candidate sets", len(f.Cands), n)
@@ -353,6 +381,7 @@ func (e *Enumerator) Resume(f *Frame, visit VisitFunc) (Result, error) {
 func (e *Enumerator) begin(visit VisitFunc) {
 	e.visit = visit
 	e.result = Result{}
+	e.polls = 0
 	e.err = nil
 	switch {
 	case !e.opts.Deadline.IsZero():
@@ -549,11 +578,16 @@ func (e *Enumerator) emit() bool {
 }
 
 // checkDeadline polls the external stop flag and the clock every 8192
-// nodes; returns false when the run should unwind.
+// calls; returns false when the run should unwind. The cadence counter
+// is dedicated — keying it to Result.Nodes would let tailCount's batch
+// increments (Nodes += n) step over the zero residue indefinitely,
+// making Stop/TimeLimit latency unbounded under TailCount.
 func (e *Enumerator) checkDeadline() bool {
-	if e.result.Nodes&8191 != 0 {
+	if e.polls&8191 != 0 {
+		e.polls++
 		return true
 	}
+	e.polls++
 	if e.Stop != nil && e.Stop.Load() {
 		e.result.Stopped = true
 		return false
@@ -565,11 +599,8 @@ func (e *Enumerator) checkDeadline() bool {
 	return true
 }
 
+// trailingZeros32 is the math/bits intrinsic (the previous hand-rolled
+// O(bits) loop additionally spun forever on 0; TrailingZeros32(0) is 32).
 func trailingZeros32(x uint32) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
+	return bits.TrailingZeros32(x)
 }

@@ -13,20 +13,11 @@ import (
 
 type stopFlag struct{ b atomic.Bool }
 
-// randomConnectedPattern builds a random connected pattern with n
-// vertices: a random spanning tree plus extra random edges.
+// randomConnectedPattern is kept as a local alias so the call sites read
+// the same; the generator itself now lives in the pattern package where
+// the differential harness shares it.
 func randomConnectedPattern(rng *rand.Rand, n, extraEdges int) *pattern.Pattern {
-	var edges [][2]pattern.Vertex
-	for v := 1; v < n; v++ {
-		edges = append(edges, [2]pattern.Vertex{rng.Intn(v), v})
-	}
-	for i := 0; i < extraEdges; i++ {
-		u, v := rng.Intn(n), rng.Intn(n)
-		if u != v {
-			edges = append(edges, [2]pattern.Vertex{u, v})
-		}
-	}
-	return pattern.MustNew("random", n, edges)
+	return pattern.RandomConnected(rng, n, extraEdges)
 }
 
 // TestRandomPatternsMatchBruteForce is the widest correctness net: random

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"light/internal/gen"
+	"light/internal/graph"
+	"light/internal/pattern"
+	"light/internal/plan"
+)
+
+// TestTailCountCancellationLatency pins the fix for the unbounded
+// cancellation latency under TailCount: checkDeadline used to poll only
+// when Nodes&8191 == 0, but tailCount advances Nodes in batches, so a
+// run whose node counter never lands on the residue ignored Stop
+// forever. The construction makes that deterministic: a single-edge
+// pattern on a star graph increments Nodes by exactly 2 per root (one
+// root MAT + one tail batch of size 1), and the tail poll always
+// observes an odd counter — pre-fix, a pre-set Stop flag was never
+// seen and the run completed in full.
+func TestTailCountCancellationLatency(t *testing.T) {
+	const leaves = 30000
+	g := gen.Star(leaves)
+	p := pattern.Path(2)
+	po := pattern.SymmetryBreaking(p)
+	// π = (u0, u1) pins the construction: every leaf root contributes one
+	// root MAT plus one tail batch of size 1 (the hub), so Nodes is odd at
+	// every tail poll.
+	pl, err := plan.Compile(p, po, []pattern.Vertex{0, 1}, plan.ModeLIGHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(g, pl, Options{TailCount: true})
+	var stop stopFlag
+	stop.b.Store(true) // cancelled before the run even starts
+	e.Stop = &stop.b
+	res, err := e.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("pre-set Stop flag ignored: run completed with %d matches, %d nodes", res.Matches, res.Nodes)
+	}
+	// The poll cadence is one check per 8192 checkDeadline calls and
+	// every call here adds at most 2 nodes, so a cancelled run must
+	// unwind within a bounded number of nodes — far below the full
+	// enumeration's 2*leaves+1.
+	if res.Nodes > 2*8192+2 {
+		t.Fatalf("cancelled TailCount run expanded %d nodes, want <= %d", res.Nodes, 2*8192+2)
+	}
+}
+
+// TestTailCountTimeLimitLatency is the TimeLimit flavor of the same
+// bug: an already-expired deadline must abort the TailCount run at the
+// first polls, not after the full enumeration.
+func TestTailCountTimeLimitLatency(t *testing.T) {
+	g := gen.Star(30000)
+	p := pattern.Path(2)
+	po := pattern.SymmetryBreaking(p)
+	pl, err := plan.Compile(p, po, []pattern.Vertex{0, 1}, plan.ModeLIGHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(g, pl, Options{TailCount: true, Deadline: time.Now().Add(-time.Hour)})
+	res, err := e.Run(nil)
+	if err != ErrTimeLimit {
+		t.Fatalf("err = %v, want ErrTimeLimit", err)
+	}
+	if res.Nodes > 2*8192+2 {
+		t.Fatalf("expired-deadline TailCount run expanded %d nodes, want <= %d", res.Nodes, 2*8192+2)
+	}
+}
+
+// TestFrameValidateMaskSigmaConsistency pins the Frame.Validate fix: a
+// frame whose MatMask disagrees with the σ prefix (wrong popcount or
+// wrong bits) must be rejected, because resume would apply injectivity
+// and symmetry-breaking checks to the wrong vertices. Pre-fix, Validate
+// only range-checked the mask (and skipped even that for 32-vertex
+// patterns).
+func TestFrameValidateMaskSigmaConsistency(t *testing.T) {
+	g := gen.Complete(8)
+	p := pattern.P4() // 5 vertices: lazy σ has a non-trivial MAT prefix
+	po := pattern.SymmetryBreaking(p)
+	pl, err := plan.Compile(p, po, plan.ConnectedOrders(p, po)[0], plan.ModeLIGHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a resumable MAT beyond σ[0] and build a valid frame for it.
+	sigmaIdx := -1
+	for i := 1; i < len(pl.Sigma); i++ {
+		if pl.Sigma[i].Mode == plan.Mat {
+			sigmaIdx = i
+			break
+		}
+	}
+	if sigmaIdx < 0 {
+		t.Fatal("plan has no resumable MAT")
+	}
+	valid := func() *Frame {
+		f := &Frame{
+			SigmaIdx:  sigmaIdx,
+			Assigned:  make([]graph.VertexID, p.NumVertices()),
+			MatMask:   pl.MatMaskBefore(sigmaIdx),
+			Cands:     make([][]graph.VertexID, p.NumVertices()),
+			Remaining: []graph.VertexID{0, 1},
+		}
+		return f
+	}
+	if err := valid().Validate(pl, g); err != nil {
+		t.Fatalf("baseline frame rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(f *Frame)
+		wantSub string
+	}{
+		{
+			name:    "mask missing the root bit",
+			mutate:  func(f *Frame) { f.MatMask &^= 1 << uint(pl.Pi[0]) },
+			wantSub: "inconsistent with σ",
+		},
+		{
+			name:    "mask with a spurious extra MAT",
+			mutate:  func(f *Frame) { f.MatMask |= 1 << uint(pl.Sigma[len(pl.Sigma)-1].Vertex) },
+			wantSub: "inconsistent with σ",
+		},
+		{
+			name: "right popcount, wrong vertices",
+			mutate: func(f *Frame) {
+				// Swap one materialized bit for an unmaterialized one.
+				want := pl.MatMaskBefore(sigmaIdx)
+				all := uint32(1<<uint(p.NumVertices())) - 1
+				inv := ^want & all
+				if want == 0 || inv == 0 {
+					t.Fatal("construction needs both set and clear bits")
+				}
+				f.MatMask = want&(want-1) | inv&-inv // drop lowest set, add lowest clear
+			},
+			wantSub: "inconsistent with σ",
+		},
+		{
+			name:    "mask exceeding the pattern",
+			mutate:  func(f *Frame) { f.MatMask |= 1 << 20 },
+			wantSub: "exceeds pattern size",
+		},
+	}
+	for _, tc := range cases {
+		f := valid()
+		tc.mutate(f)
+		err := f.Validate(pl, g)
+		if err == nil {
+			t.Errorf("%s: Validate accepted corrupt frame mask %#x at σ[%d]", tc.name, f.MatMask, f.SigmaIdx)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestNegativeDeltaRejected pins the Options.Delta validation: a
+// negative δ makes every cardinality pair look skewed, silently turning
+// the Hybrid kernels into pure Galloping. Pre-fix it survived
+// withDefaults untouched.
+func TestNegativeDeltaRejected(t *testing.T) {
+	g := gen.Complete(4)
+	p := pattern.Triangle()
+	po := pattern.SymmetryBreaking(p)
+	pl, err := plan.Compile(p, po, plan.ConnectedOrders(p, po)[0], plan.ModeLIGHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("engine.New accepted Delta = -1")
+		}
+	}()
+	New(g, pl, Options{Delta: -1})
+}
+
+// TestTrailingZeros32Intrinsic pins the math/bits replacement of the
+// hand-rolled loop, which spun forever on 0. The watchdog goroutine
+// makes the pre-fix hang a clean test failure instead of a test-binary
+// timeout.
+func TestTrailingZeros32Intrinsic(t *testing.T) {
+	done := make(chan int, 1)
+	go func() { done <- trailingZeros32(0) }()
+	select {
+	case got := <-done:
+		if got != 32 {
+			t.Fatalf("trailingZeros32(0) = %d, want 32", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("trailingZeros32(0) did not return (infinite loop)")
+	}
+	for i := 0; i < 32; i++ {
+		if got := trailingZeros32(1 << uint(i)); got != i {
+			t.Fatalf("trailingZeros32(1<<%d) = %d, want %d", i, got, i)
+		}
+	}
+}

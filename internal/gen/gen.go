@@ -176,3 +176,94 @@ func Star(n int) *graph.Graph {
 	}
 	return b.BuildOrdered()
 }
+
+// StarChords generates a star K_{1,leaves} plus chords random leaf–leaf
+// edges: the hub keeps its extreme cardinality skew, while the chords
+// close triangles so cyclic patterns have matches. An adversarial
+// family for the differential harness — one huge candidate set feeding
+// every intersection, and hub/leaf id extremes exercising the
+// symmetry-breaking bounds.
+func StarChords(leaves, chords int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(leaves + 1)
+	for i := 1; i <= leaves; i++ {
+		b.AddEdge(0, graph.VertexID(i))
+	}
+	for i := 0; i < chords && leaves >= 2; i++ {
+		u := graph.VertexID(1 + rng.Intn(leaves))
+		v := graph.VertexID(1 + rng.Intn(leaves))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.BuildOrdered()
+}
+
+// NearBipartite generates the complete bipartite graph K_{a,b} with
+// `flips` perturbations: each flip removes one random cross edge and
+// adds one random same-side edge. Pure bipartite graphs have zero
+// odd-cycle matches and maximal even-cycle counts; the flips create
+// rare odd cycles, an adversarial mix for symmetry breaking and for
+// count cross-checks (a miscounted family shows up as a small absolute
+// discrepancy instead of vanishing in a sea of matches).
+func NearBipartite(a, b, flips int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	bl := graph.NewBuilder(a + b)
+	type edge struct{ u, v graph.VertexID }
+	cross := make([]edge, 0, a*b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			cross = append(cross, edge{graph.VertexID(i), graph.VertexID(a + j)})
+		}
+	}
+	removed := map[int]bool{}
+	for i := 0; i < flips && i < len(cross)/2; i++ {
+		removed[rng.Intn(len(cross))] = true
+		// Same-side edge: pick the side at random.
+		if rng.Intn(2) == 0 && a >= 2 {
+			u, v := rng.Intn(a), rng.Intn(a)
+			if u != v {
+				bl.AddEdge(graph.VertexID(u), graph.VertexID(v))
+			}
+		} else if b >= 2 {
+			u, v := a+rng.Intn(b), a+rng.Intn(b)
+			if u != v {
+				bl.AddEdge(graph.VertexID(u), graph.VertexID(v))
+			}
+		}
+	}
+	for i, e := range cross {
+		if !removed[i] {
+			bl.AddEdge(e.u, e.v)
+		}
+	}
+	return bl.BuildOrdered()
+}
+
+// DegreeTies generates `copies` disjoint identical gadgets — a cycle of
+// `size` vertices with one chord — joined into one component by a light
+// random matching between consecutive copies. Almost every vertex has
+// degree 2 or 3, so the ordered-graph relabeling (degree, then id) is
+// decided nearly everywhere by id tie-breaks: the adversarial family
+// for bugs that only show up when many vertices compare equal under
+// the degree order.
+func DegreeTies(copies, size int, seed int64) *graph.Graph {
+	if size < 4 {
+		size = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(copies * size)
+	for c := 0; c < copies; c++ {
+		base := graph.VertexID(c * size)
+		for i := 0; i < size; i++ {
+			b.AddEdge(base+graph.VertexID(i), base+graph.VertexID((i+1)%size))
+		}
+		b.AddEdge(base, base+graph.VertexID(size/2)) // the chord
+		if c > 0 {
+			// One connector edge to the previous copy keeps the graph
+			// connected without disturbing the tie structure much.
+			b.AddEdge(base-graph.VertexID(1+rng.Intn(size)), base+graph.VertexID(rng.Intn(size)))
+		}
+	}
+	return b.BuildOrdered()
+}

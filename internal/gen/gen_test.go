@@ -150,6 +150,117 @@ func TestByName(t *testing.T) {
 	}
 }
 
+func TestStarChords(t *testing.T) {
+	g := StarChords(50, 30, 3)
+	if g.NumVertices() != 51 {
+		t.Fatalf("N = %d, want 51", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The hub keeps its full degree; chords can only add to leaves.
+	if g.MaxDegree() < 50 {
+		t.Fatalf("hub degree %d < 50", g.MaxDegree())
+	}
+	if g.NumEdges() <= 50 {
+		t.Fatal("no chords landed")
+	}
+	a, b := StarChords(50, 30, 3), StarChords(50, 30, 3)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("StarChords not deterministic")
+	}
+}
+
+// bipartite reports whether g is 2-colorable, via BFS over every
+// component.
+func bipartite(g *graph.Graph) bool {
+	color := make([]int8, g.NumVertices())
+	for s := 0; s < g.NumVertices(); s++ {
+		if color[s] != 0 {
+			continue
+		}
+		color[s] = 1
+		queue := []graph.VertexID{graph.VertexID(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Neighbors(u) {
+				if color[v] == 0 {
+					color[v] = -color[u]
+					queue = append(queue, v)
+				} else if color[v] == color[u] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestNearBipartite(t *testing.T) {
+	// Zero flips is exactly K_{a,b}: a*b edges and genuinely bipartite.
+	g := NearBipartite(6, 7, 0, 1)
+	if g.NumVertices() != 13 || g.NumEdges() != 42 {
+		t.Fatalf("K_{6,7}: got %v", g)
+	}
+	if !bipartite(g) {
+		t.Fatal("unflipped NearBipartite is not bipartite")
+	}
+	// Flips break bipartiteness (for this seed a same-side edge lands).
+	f := NearBipartite(6, 7, 8, 1)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bipartite(f) {
+		t.Fatal("flips produced no odd cycle")
+	}
+	if f.NumEdges() >= 42+8 || f.NumEdges() <= 42-2*8 {
+		t.Fatalf("flipped edge count %d implausible", f.NumEdges())
+	}
+	a, b := NearBipartite(6, 7, 8, 1), NearBipartite(6, 7, 8, 1)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("NearBipartite not deterministic")
+	}
+}
+
+func TestDegreeTies(t *testing.T) {
+	g := DegreeTies(8, 6, 5)
+	if g.NumVertices() != 48 {
+		t.Fatalf("N = %d, want 48", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The point of the family: nearly every vertex shares its degree with
+	// many others. Check the degree spectrum is tiny.
+	degrees := map[int]int{}
+	for v := 0; v < g.NumVertices(); v++ {
+		degrees[g.Degree(graph.VertexID(v))]++
+	}
+	if len(degrees) > 4 {
+		t.Fatalf("degree spectrum too wide for a tie family: %v", degrees)
+	}
+	// Connector edges must make it one component.
+	seen := make([]bool, g.NumVertices())
+	queue := []graph.VertexID{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	if count != g.NumVertices() {
+		t.Fatalf("DegreeTies disconnected: reached %d of %d", count, g.NumVertices())
+	}
+}
+
 func TestRMATSoft(t *testing.T) {
 	soft := RMATSoft(10, 8, 3)
 	hard := RMAT(10, 8, 3)

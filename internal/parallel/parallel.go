@@ -160,6 +160,13 @@ func Run(g *graph.Graph, pl *plan.Plan, opts Options, visit engine.VisitFunc) (R
 // is fully parallel. A panic in visit or in a worker is recovered,
 // stops the pool cleanly, and is returned as a *supervise.PanicError.
 func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options, visit engine.VisitFunc) (Result, error) {
+	if opts.Engine.Delta < 0 {
+		// Reject here, before workers spawn: engine.New panics on a
+		// negative δ (it would silently degrade every Hybrid kernel to
+		// pure Galloping), and a panic inside a supervised worker is a
+		// worse failure report than a plain error at the entry point.
+		return Result{}, fmt.Errorf("parallel: Engine.Delta is %d, must be non-negative", opts.Engine.Delta)
+	}
 	opts = opts.withDefaults()
 	// Pin one absolute deadline for the whole run: workers process many
 	// chunks and frames, each of which restarts the engine's clock.

@@ -1,0 +1,23 @@
+package pattern
+
+import "math/rand"
+
+// RandomConnected generates a random connected pattern on n vertices: a
+// uniform random recursive tree (each vertex v>0 attaches to a uniform
+// earlier vertex) plus up to extraEdges random chords. Duplicate chords
+// and self-loops are dropped, so the final edge count is between n-1
+// and n-1+extraEdges. Deterministic for a given rng state; used by the
+// differential harness and the engine's randomized correctness tests.
+func RandomConnected(rng *rand.Rand, n, extraEdges int) *Pattern {
+	var edges [][2]Vertex
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]Vertex{rng.Intn(v), v})
+	}
+	for i := 0; i < extraEdges; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, [2]Vertex{u, v})
+		}
+	}
+	return MustNew("random", n, edges)
+}

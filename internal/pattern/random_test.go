@@ -1,0 +1,43 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		p := RandomConnected(rng, n, rng.Intn(5))
+		if p.NumVertices() != n {
+			t.Fatalf("n = %d, want %d", p.NumVertices(), n)
+		}
+		if p.NumEdges() < n-1 {
+			t.Fatalf("%d edges on %d vertices cannot be connected", p.NumEdges(), n)
+		}
+		// BFS over the adjacency masks: the spanning-tree construction
+		// guarantees one component.
+		seen := uint32(1)
+		queue := []Vertex{0}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if p.HasEdge(u, v) && seen&(1<<uint(v)) == 0 {
+					seen |= 1 << uint(v)
+					queue = append(queue, v)
+				}
+			}
+		}
+		if seen != 1<<uint(n)-1 {
+			t.Fatalf("trial %d: pattern disconnected (reached %#x of %d vertices)", trial, seen, n)
+		}
+	}
+	// Same seed, same pattern.
+	a := RandomConnected(rand.New(rand.NewSource(7)), 5, 3)
+	b := RandomConnected(rand.New(rand.NewSource(7)), 5, 3)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("RandomConnected not deterministic")
+	}
+}

@@ -1,0 +1,45 @@
+package plan
+
+import (
+	"math/bits"
+	"testing"
+
+	"light/internal/pattern"
+)
+
+// TestMatMaskBefore checks the helper against a direct recount on every
+// catalog pattern × mode: the mask over σ[:i] must contain exactly the
+// MAT vertices seen so far, monotonically growing from the root.
+func TestMatMaskBefore(t *testing.T) {
+	for _, p := range pattern.Catalog() {
+		po := pattern.SymmetryBreaking(p)
+		for _, mode := range []Mode{ModeSE, ModeLM, ModeMSC, ModeLIGHT} {
+			pl, err := Compile(p, po, ConnectedOrders(p, po)[0], mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want uint32
+			mats := 0
+			for i := 0; i <= len(pl.Sigma); i++ {
+				got := pl.MatMaskBefore(i)
+				if got != want {
+					t.Fatalf("%s/%s: MatMaskBefore(%d) = %#x, want %#x", p.Name(), mode.Name(), i, got, want)
+				}
+				if bits.OnesCount32(got) != mats {
+					t.Fatalf("%s/%s: popcount(MatMaskBefore(%d)) = %d, want %d MATs",
+						p.Name(), mode.Name(), i, bits.OnesCount32(got), mats)
+				}
+				if i < len(pl.Sigma) && pl.Sigma[i].Mode == Mat {
+					want |= 1 << uint(pl.Sigma[i].Vertex)
+					mats++
+				}
+			}
+			if pl.MatMaskBefore(len(pl.Sigma)+3) != want {
+				t.Fatalf("%s/%s: MatMaskBefore past σ should clamp to the full mask", p.Name(), mode.Name())
+			}
+			if pl.MatMaskBefore(1) != 1<<uint(pl.Pi[0]) {
+				t.Fatalf("%s/%s: MatMaskBefore(1) must be the root bit", p.Name(), mode.Name())
+			}
+		}
+	}
+}

@@ -33,4 +33,11 @@ go test -race -tags faultinject "${SHORT[@]}" \
 echo "==> fuzz smoke: FuzzCSRRoundTrip (10s)"
 go test ./internal/graph/ -run FuzzCSRRoundTrip -fuzz FuzzCSRRoundTrip -fuzztime 10s
 
+echo "==> lightdiff differential smoke"
+if [[ ${#SHORT[@]} -gt 0 ]]; then
+    go run ./cmd/lightdiff -cases 40 -quick
+else
+    go run ./cmd/lightdiff -cases 200
+fi
+
 echo "verify: OK"
