@@ -1,6 +1,8 @@
 // Command lightbench is the deterministic smoke-benchmark suite behind
 // scripts/bench_gate.sh: P2/P4/P6 on a seeded synthetic graph, serial
-// and 4-thread, written as a schema-versioned BENCH_smoke.json report.
+// and 4-thread, plus a hub-bitmap kernel section (HybridBlock vs
+// HybridBitmap on a seeded star-chords graph), written as a
+// schema-versioned BENCH_smoke.json report.
 //
 // The work counters in the report (matches, nodes, comps,
 // intersections, galloping, elements) depend only on (graph, plan,
@@ -40,6 +42,19 @@ const (
 )
 
 var benchPatterns = []string{"P2", "P4", "P6"}
+
+// The bitmap section's graph: a seeded star-with-chords, whose hub
+// vertex dominates every intersection — the shape the hub-bitmap index
+// targets. Large enough that the serial wall time is well above timer
+// noise, so the HybridBlock→HybridBitmap speedup is measurable.
+const (
+	bitmapDataset = "star-chords"
+	bitmapLeaves  = 4000
+	bitmapChords  = 24000
+	bitmapSeed    = 7
+)
+
+var bitmapPatterns = []string{"triangle", "P2"}
 
 func main() {
 	out := flag.String("out", "BENCH_smoke.json", "report output path")
@@ -106,27 +121,113 @@ func runSuite() (*metrics.BenchReport, error) {
 		}
 		rows = append(rows, serial, par)
 	}
+	bitmapRows, err := runBitmapSection()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, bitmapRows...)
 	return metrics.NewBenchReport("smoke", map[string]string{
-		"dataset": benchDataset,
-		"scale":   fmt.Sprint(benchScale),
+		"dataset":        benchDataset,
+		"scale":          fmt.Sprint(benchScale),
+		"bitmap_dataset": fmt.Sprintf("%s(%d,%d,%d)", bitmapDataset, bitmapLeaves, bitmapChords, bitmapSeed),
 	}, rows), nil
 }
 
-// runCell measures one (pattern, workers) configuration.
+// runBitmapSection benchmarks the hub-bitmap kernel against its list
+// fallback on the star-chords graph, with the same serial-vs-parallel
+// counter self-check as the main section plus two of its own: the two
+// kernels must agree on matches, and the bitmap kernel must actually
+// probe (a silent fall-back to the list path would quietly hollow the
+// benchmark out). The speedup itself is wall-clock and therefore
+// advisory — it is printed, not gated.
+func runBitmapSection() ([]metrics.BenchRow, error) {
+	ig := gen.StarChords(bitmapLeaves, bitmapChords, bitmapSeed)
+	edges := make([][2]light.VertexID, 0, ig.NumEdges())
+	for v := 0; v < ig.NumVertices(); v++ {
+		for _, w := range ig.Neighbors(light.VertexID(v)) {
+			if light.VertexID(v) < w {
+				edges = append(edges, [2]light.VertexID{light.VertexID(v), w})
+			}
+		}
+	}
+	g := light.NewGraph(ig.NumVertices(), edges)
+
+	var rows []metrics.BenchRow
+	for _, name := range bitmapPatterns {
+		p, err := light.PatternByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var wallList, wallBitmap int64
+		var matchesList, matchesBitmap uint64
+		for _, kernel := range []light.Intersection{light.HybridBlock, light.HybridBitmap} {
+			serial, err := runKernelCell(g, p, bitmapDataset, kernel, 1)
+			if err != nil {
+				return nil, fmt.Errorf("%s %v serial: %w", name, kernel, err)
+			}
+			par, err := runKernelCell(g, p, bitmapDataset, kernel, 4)
+			if err != nil {
+				return nil, fmt.Errorf("%s %v 4T: %w", name, kernel, err)
+			}
+			if serial.Matches != par.Matches || serial.Nodes != par.Nodes ||
+				serial.Comps != par.Comps || serial.Intersections != par.Intersections ||
+				serial.Galloping != par.Galloping || serial.Elements != par.Elements ||
+				serial.BitmapProbes != par.BitmapProbes {
+				return nil, fmt.Errorf("%s/%v: determinism self-check failed: serial %+v vs 4T %+v", name, kernel, serial, par)
+			}
+			if kernel == light.HybridBitmap {
+				if serial.BitmapProbes == 0 {
+					return nil, fmt.Errorf("%s: HybridBitmap recorded zero bitmap probes on a hub graph", name)
+				}
+				wallBitmap, matchesBitmap = serial.WallNS, serial.Matches
+			} else {
+				if serial.BitmapProbes != 0 {
+					return nil, fmt.Errorf("%s: list kernel recorded %d bitmap probes", name, serial.BitmapProbes)
+				}
+				wallList, matchesList = serial.WallNS, serial.Matches
+			}
+			rows = append(rows, serial, par)
+		}
+		if matchesList != matchesBitmap {
+			return nil, fmt.Errorf("%s: HybridBitmap found %d matches, HybridBlock %d", name, matchesBitmap, matchesList)
+		}
+		fmt.Printf("bitmap section %s: HybridBlock %v, HybridBitmap %v (%.1f%% faster, advisory)\n",
+			name, time.Duration(wallList), time.Duration(wallBitmap),
+			100*(1-float64(wallBitmap)/float64(wallList)))
+	}
+	return rows, nil
+}
+
+// runCell measures one (pattern, workers) configuration of the main
+// LIGHT section.
 func runCell(g *light.Graph, p *light.Pattern, workers int) (metrics.BenchRow, error) {
-	res, err := light.Count(g, p, light.Options{Workers: workers})
+	row, err := runKernelCell(g, p, benchDataset, light.HybridBlock, workers)
+	if err != nil {
+		return row, err
+	}
+	row.System = "LIGHT/serial"
+	if workers > 1 {
+		row.System = fmt.Sprintf("LIGHT/%dT", workers)
+	}
+	return row, nil
+}
+
+// runKernelCell measures one (pattern, kernel, workers) cell; the
+// system name carries the kernel so bitmap rows gate separately.
+func runKernelCell(g *light.Graph, p *light.Pattern, dataset string, kernel light.Intersection, workers int) (metrics.BenchRow, error) {
+	res, err := light.Count(g, p, light.Options{Workers: workers, Intersection: kernel})
 	if err != nil {
 		return metrics.BenchRow{}, err
 	}
 	r := res.Report
-	system := "LIGHT/serial"
+	suffix := "serial"
 	if workers > 1 {
-		system = fmt.Sprintf("LIGHT/%dT", workers)
+		suffix = fmt.Sprintf("%dT", workers)
 	}
 	return metrics.BenchRow{
-		Dataset:       benchDataset,
+		Dataset:       dataset,
 		Pattern:       p.Name(),
-		System:        system,
+		System:        fmt.Sprintf("%v/%s", kernel, suffix),
 		WallNS:        r.WallNS,
 		Matches:       r.Matches,
 		Nodes:         r.Nodes,
@@ -134,6 +235,7 @@ func runCell(g *light.Graph, p *light.Pattern, workers int) (metrics.BenchRow, e
 		Intersections: r.Intersections,
 		Galloping:     r.Galloping,
 		Elements:      r.Elements,
+		BitmapProbes:  r.BitmapProbes,
 		MemoryBytes:   r.CandidateMemoryBytes,
 	}, nil
 }

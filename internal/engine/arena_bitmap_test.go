@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"testing"
+
+	"light/internal/arena"
+	"light/internal/gen"
+	"light/internal/intersect"
+	"light/internal/pattern"
+	"light/internal/plan"
+)
+
+// compile builds a LIGHT plan for p with symmetry breaking, failing the
+// test on compile errors.
+func compile(t *testing.T, p *pattern.Pattern) *plan.Plan {
+	t.Helper()
+	po := pattern.SymmetryBreaking(p)
+	pl, err := plan.Compile(p, po, plan.ConnectedOrders(p, po)[0], plan.ModeLIGHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// TestBitmapKernelMatchesList runs the bitmap kernels against their list
+// fallbacks on hub-rich graphs: identical match and node counts, and on
+// a graph with hubs the bitmap kernel must actually probe.
+func TestBitmapKernelMatchesList(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *pattern.Pattern
+	}{
+		{"triangle", pattern.Triangle()},
+		{"4clique", pattern.P3()},
+		{"p5", pattern.P5()},
+	}
+	g := gen.StarChords(300, 900, 7)
+	// Force a small τ so the star center (and chord-heavy leaves) carry
+	// bitmaps even on this small test graph.
+	g.BuildHubIndex(8)
+	if g.NumHubs() == 0 {
+		t.Fatal("test graph has no hubs; bitmap path not exercised")
+	}
+	for _, c := range cases {
+		pl := compile(t, c.p)
+		base, err := New(g, pl, Options{Kernel: intersect.KindHybridBlock}).Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []intersect.Kind{intersect.KindMergeBitmap, intersect.KindHybridBitmap} {
+			res, err := New(g, pl, Options{Kernel: k}).Run(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Matches != base.Matches || res.Nodes != base.Nodes || res.Comps != base.Comps {
+				t.Fatalf("%s/%v: matches/nodes/comps %d/%d/%d, list kernel %d/%d/%d",
+					c.name, k, res.Matches, res.Nodes, res.Comps, base.Matches, base.Nodes, base.Comps)
+			}
+			if base.Stats.BitmapProbes != 0 {
+				t.Fatalf("%s: list kernel recorded %d bitmap probes", c.name, base.Stats.BitmapProbes)
+			}
+			// Patterns with multi-operand COMPs must hit the hub index.
+			if c.p.NumVertices() >= 4 && res.Stats.BitmapProbes == 0 {
+				t.Fatalf("%s/%v: no bitmap probes on a hub-rich graph", c.name, k)
+			}
+		}
+	}
+}
+
+// TestBitmapKernelNoHubIndex pins the fallback: with the hub index
+// dropped, bitmap kernels silently run their list fallback and agree.
+func TestBitmapKernelNoHubIndex(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 5, 3)
+	g.BuildHubIndex(-1)
+	pl := compile(t, pattern.P3())
+	base, err := New(g, pl, Options{Kernel: intersect.KindHybridBlock}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(g, pl, Options{Kernel: intersect.KindHybridBitmap}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != base.Matches || res.Stats.BitmapProbes != 0 {
+		t.Fatalf("no-index run: matches %d (want %d), probes %d (want 0)",
+			res.Matches, base.Matches, res.Stats.BitmapProbes)
+	}
+}
+
+// TestSteadyStateZeroAllocs pins the arena contract: after the first run
+// warms the slabs, whole enumeration runs allocate nothing — for the
+// list kernels and the bitmap kernels alike.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	g := gen.StarChords(120, 360, 11)
+	g.BuildHubIndex(8)
+	pl := compile(t, pattern.P5())
+	for _, k := range []intersect.Kind{intersect.KindHybridBlock, intersect.KindHybridBitmap} {
+		e := New(g, pl, Options{Kernel: k})
+		if _, err := e.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(3, func() {
+			if _, err := e.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Fatalf("kernel %v: %v allocations per steady-state run, want 0", k, n)
+		}
+	}
+}
+
+// TestSharedArenaAcrossEnumerators pins the per-worker reuse pattern the
+// parallel scheduler relies on: two enumerators built on one arena (run
+// sequentially) share slabs, and the footprint does not grow with the
+// number of enumerators.
+func TestSharedArenaAcrossEnumerators(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 4, 5)
+	pl := compile(t, pattern.Triangle())
+	ar := arena.New()
+	opts := Options{Kernel: intersect.KindHybridBlock, Arena: ar}
+	e1 := New(g, pl, opts)
+	r1, err := e1.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after1 := ar.Bytes()
+	e2 := New(g, pl, opts)
+	r2, err := e2.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Matches != r2.Matches {
+		t.Fatalf("shared-arena runs disagree: %d vs %d", r1.Matches, r2.Matches)
+	}
+	if ar.Bytes() != after1 {
+		t.Fatalf("arena grew across enumerators: %d then %d", after1, ar.Bytes())
+	}
+	if e1.CandidateMemoryBytes() != e2.CandidateMemoryBytes() {
+		t.Fatal("enumerators on one arena report different footprints")
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"light/internal/arena"
+	"light/internal/bitset"
 	"light/internal/graph"
 	"light/internal/intersect"
 	"light/internal/metrics"
@@ -71,6 +73,12 @@ type Options struct {
 	// finishes. Per-event counting stays in plain per-enumerator fields;
 	// only the fold touches atomics, so the hot path is unaffected.
 	Metrics *metrics.Recorder
+	// Arena, when non-nil, backs the enumerator's candidate buffers. The
+	// parallel scheduler passes one arena per worker so every enumerator
+	// a worker builds reuses the same slabs; when nil, New creates a
+	// private arena. The arena must not be shared between enumerators
+	// that run concurrently.
+	Arena *arena.Arena
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +121,7 @@ func (r *Result) AddTo(m *metrics.Recorder) {
 	m.Add(metrics.IntersectGalloping, r.Stats.Galloping)
 	m.Add(metrics.IntersectMerge, r.Stats.Intersections-r.Stats.Galloping)
 	m.Add(metrics.IntersectElements, r.Stats.Elements)
+	m.Add(metrics.IntersectBitmapProbes, r.Stats.BitmapProbes)
 }
 
 // MatHook, when non-nil, is invoked at the start of every non-root MAT
@@ -140,10 +149,20 @@ type Enumerator struct {
 	matMask  uint32           // bitmask of materialized pattern vertices
 	allRoots []graph.VertexID // lazily built full root list for Run
 
+	// Candidate buffers are carved from ar lazily, one cap-dmax slice
+	// per pattern vertex on first use after begin. A run that prunes
+	// early never pays for the deeper buffers, and the arena makes the
+	// whole set one slab reset instead of n live allocations.
 	cand    [][]graph.VertexID
 	bufs    [][]graph.VertexID
 	scratch []graph.VertexID
 	setsTmp [][]graph.VertexID
+	bmsTmp  []*bitset.Bitmap
+	ar      *arena.Arena
+	dmax    int
+	// useBitmaps caches opts.Kernel.UsesBitmaps(): when set, compute
+	// probes the graph's hub index for K1 operands.
+	useBitmaps bool
 
 	visit    VisitFunc
 	result   Result
@@ -165,21 +184,23 @@ func New(g *graph.Graph, pl *plan.Plan, opts Options) *Enumerator {
 	}
 	opts = opts.withDefaults()
 	n := pl.Pattern.NumVertices()
-	dmax := g.MaxDegree()
-	e := &Enumerator{
-		g:        g,
-		pl:       pl,
-		opts:     opts,
-		assigned: make([]graph.VertexID, n),
-		cand:     make([][]graph.VertexID, n),
-		bufs:     make([][]graph.VertexID, n),
-		scratch:  make([]graph.VertexID, dmax),
-		setsTmp:  make([][]graph.VertexID, 0, n),
+	ar := opts.Arena
+	if ar == nil {
+		ar = arena.New()
 	}
-	for u := 0; u < n; u++ {
-		e.bufs[u] = make([]graph.VertexID, dmax)
+	return &Enumerator{
+		g:          g,
+		pl:         pl,
+		opts:       opts,
+		assigned:   make([]graph.VertexID, n),
+		cand:       make([][]graph.VertexID, n),
+		bufs:       make([][]graph.VertexID, n),
+		setsTmp:    make([][]graph.VertexID, 0, n),
+		bmsTmp:     make([]*bitset.Bitmap, 0, n),
+		ar:         ar,
+		dmax:       g.MaxDegree(),
+		useBitmaps: opts.Kernel.UsesBitmaps(),
 	}
-	return e
 }
 
 // Plan returns the plan the enumerator executes.
@@ -189,14 +210,11 @@ func (e *Enumerator) Plan() *plan.Plan { return e.pl }
 func (e *Enumerator) Graph() *graph.Graph { return e.g }
 
 // CandidateMemoryBytes reports the memory held by candidate-set buffers
-// (the paper's Table V metric): n buffers of d_max 32-bit ids plus the
-// scratch buffer.
+// (the paper's Table V metric): the arena slabs the lazy per-vertex
+// buffers and the scratch buffer are carved from. Enumerators sharing
+// an arena (one worker's sequence of chunks) report the same slabs.
 func (e *Enumerator) CandidateMemoryBytes() int64 {
-	total := int64(len(e.scratch)) * 4
-	for _, b := range e.bufs {
-		total += int64(cap(b)) * 4
-	}
-	return total
+	return e.ar.Bytes()
 }
 
 // Run enumerates over every root candidate (C(π[1]) = V(G)) and returns
@@ -368,21 +386,32 @@ func (e *Enumerator) Resume(f *Frame, visit VisitFunc) (Result, error) {
 	e.matMask = f.MatMask
 	for u := range f.Cands {
 		if f.Cands[u] == nil {
-			e.cand[u] = nil
 			continue
 		}
-		m := copy(e.bufs[u][:cap(e.bufs[u])], f.Cands[u])
-		e.cand[u] = e.bufs[u][:m]
+		b := e.buf(u)
+		m := copy(b[:cap(b)], f.Cands[u])
+		e.cand[u] = b[:m]
 	}
 	e.matLoop(f.SigmaIdx, f.Remaining, false)
 	return e.finish()
 }
 
+// begin resets per-run state. Releasing the arena invalidates every
+// buffer carved last run, so the buffer and candidate tables are
+// cleared with it; buf/scratchBuf re-carve on first use.
+//
+//light:hotpath
 func (e *Enumerator) begin(visit VisitFunc) {
 	e.visit = visit
 	e.result = Result{}
 	e.polls = 0
 	e.err = nil
+	e.ar.Reset()
+	e.scratch = nil
+	for u := range e.bufs {
+		e.bufs[u] = nil
+		e.cand[u] = nil
+	}
 	switch {
 	case !e.opts.Deadline.IsZero():
 		e.deadline = e.opts.Deadline
@@ -435,16 +464,60 @@ func (e *Enumerator) compute(u int) bool {
 		}
 		return len(e.cand[u]) > 0
 	}
+	dst := e.buf(u)
 	sets := e.setsTmp[:0]
+	if e.useBitmaps {
+		// Bitmap-probe path: collect the hub bitmap (or nil) of every K1
+		// operand in lockstep with sets; K2 cached candidates never have
+		// bitmap form. With no hub among the operands this degrades to
+		// the plain list call below via MultiWayBitmap's fallback.
+		bms := e.bmsTmp[:0]
+		for _, w := range ops.K1 {
+			v := e.assigned[w]
+			sets = append(sets, e.g.Neighbors(v))
+			bms = append(bms, e.g.HubBitmap(v))
+		}
+		for _, w := range ops.K2 {
+			sets = append(sets, e.cand[w])
+			bms = append(bms, nil)
+		}
+		n := intersect.MultiWayBitmap(dst, e.scratchBuf(), sets, bms, e.opts.Kernel, e.opts.Delta, &e.result.Stats)
+		e.cand[u] = dst[:n]
+		return n > 0
+	}
 	for _, w := range ops.K1 {
 		sets = append(sets, e.g.Neighbors(e.assigned[w]))
 	}
 	for _, w := range ops.K2 {
 		sets = append(sets, e.cand[w])
 	}
-	n := intersect.MultiWay(e.bufs[u], e.scratch, sets, e.opts.Kernel, e.opts.Delta, &e.result.Stats)
-	e.cand[u] = e.bufs[u][:n]
+	n := intersect.MultiWay(dst, e.scratchBuf(), sets, e.opts.Kernel, e.opts.Delta, &e.result.Stats)
+	e.cand[u] = dst[:n]
 	return n > 0
+}
+
+// buf returns pattern vertex u's cap-d_max candidate buffer, carving it
+// from the arena on first use this run.
+//
+//light:hotpath
+func (e *Enumerator) buf(u int) []graph.VertexID {
+	b := e.bufs[u]
+	if b == nil && e.dmax > 0 {
+		b = e.ar.Alloc(e.dmax)
+		e.bufs[u] = b
+	}
+	return b
+}
+
+// scratchBuf returns the shared multiway ping-pong buffer, carved from
+// the arena on first use this run.
+//
+//light:hotpath
+func (e *Enumerator) scratchBuf() []graph.VertexID {
+	if e.scratch == nil && e.dmax > 0 {
+		e.scratch = e.ar.Alloc(e.dmax)
+	}
+	return e.scratch
 }
 
 // matLoop materializes σ[i]'s vertex over candidates. checkHook controls

@@ -375,9 +375,23 @@ func TestCandidateMemoryBytes(t *testing.T) {
 	p := pattern.P5()
 	pl, _ := plan.Compile(p, pattern.SymmetryBreaking(p), plan.ConnectedOrders(p, pattern.SymmetryBreaking(p))[0], plan.ModeLIGHT)
 	e := New(g, pl, Options{})
-	want := int64((p.NumVertices() + 1) * g.MaxDegree() * 4)
-	if got := e.CandidateMemoryBytes(); got != want {
-		t.Fatalf("CandidateMemoryBytes = %d, want %d", got, want)
+	// Buffers are carved lazily from the arena: nothing is held before
+	// the first run, and repeated runs reuse the same slabs.
+	if got := e.CandidateMemoryBytes(); got != 0 {
+		t.Fatalf("CandidateMemoryBytes before any run = %d, want 0", got)
+	}
+	if _, err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	after := e.CandidateMemoryBytes()
+	if after <= 0 {
+		t.Fatalf("CandidateMemoryBytes after run = %d, want > 0", after)
+	}
+	if _, err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if again := e.CandidateMemoryBytes(); again != after {
+		t.Fatalf("CandidateMemoryBytes grew across runs: %d then %d", after, again)
 	}
 }
 

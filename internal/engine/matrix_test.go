@@ -36,7 +36,15 @@ func TestTailCountDegreeFilterEquality(t *testing.T) {
 		{"starchords", gen.StarChords(40, 60, 5)},
 		{"ties", gen.DegreeTies(5, 6, 3)},
 	}
-	kernels := []intersect.Kind{intersect.KindMerge, intersect.KindHybrid}
+	// Small τ so these small graphs carry indexed hubs and the bitmap
+	// kernels exercise the probe path, not just the list fallback.
+	for _, tg := range graphs {
+		tg.g.BuildHubIndex(3)
+	}
+	kernels := []intersect.Kind{
+		intersect.KindMerge, intersect.KindHybrid,
+		intersect.KindMergeBitmap, intersect.KindHybridBitmap,
+	}
 	for _, tg := range graphs {
 		for _, p := range pattern.Catalog() {
 			po := pattern.SymmetryBreaking(p)

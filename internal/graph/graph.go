@@ -32,6 +32,11 @@ type Graph struct {
 	// cardinality estimator. Cached at construction.
 	degreeSum2 float64
 	degreeSum3 float64
+
+	// hub is the degree-threshold bitmap index over high-degree
+	// neighbor lists (see hub.go); auto-built by finalize, rebuilt or
+	// dropped via BuildHubIndex.
+	hub *hubIndex
 }
 
 // NumVertices returns |V(G)| (N in the paper).
@@ -135,7 +140,8 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// finalize recomputes the cached degree statistics.
+// finalize recomputes the cached degree statistics and auto-builds the
+// hub bitmap index.
 func (g *Graph) finalize() {
 	g.maxDegree = 0
 	g.degreeSum2 = 0
@@ -149,6 +155,7 @@ func (g *Graph) finalize() {
 		g.degreeSum2 += fd * fd
 		g.degreeSum3 += fd * fd * fd
 	}
+	g.BuildHubIndex(0)
 }
 
 // Edge is an undirected edge between two data vertices.

@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"testing"
+)
+
+// starGraph builds a star: center 0 with the given number of leaves,
+// plus optional chord edges among leaves.
+func starGraph(leaves int, chords [][2]VertexID) *Graph {
+	b := NewBuilder(leaves + 1)
+	for i := 1; i <= leaves; i++ {
+		b.AddEdge(0, VertexID(i))
+	}
+	for _, c := range chords {
+		b.AddEdge(c[0], c[1])
+	}
+	return b.Build()
+}
+
+func TestAutoThresholdFloor(t *testing.T) {
+	// Sparse graph: avg degree ~2, so the auto τ lands on the floor.
+	g := starGraph(10, nil)
+	if got := g.HubThreshold(); got != hubMinDegreeFloor {
+		t.Fatalf("HubThreshold = %d, want floor %d", got, hubMinDegreeFloor)
+	}
+	// No vertex reaches degree 64 → no hubs, but the index exists.
+	if g.NumHubs() != 0 || g.HubIndexBytes() != 0 {
+		t.Fatalf("sparse graph indexed %d hubs / %d bytes", g.NumHubs(), g.HubIndexBytes())
+	}
+	if g.HubBitmap(0) != nil {
+		t.Fatal("non-hub center returned a bitmap")
+	}
+}
+
+func TestAutoBuildIndexesHighDegreeHub(t *testing.T) {
+	// 100-leaf star: center degree 100 >= floor τ=64 → auto-indexed at
+	// Build time with no explicit BuildHubIndex call.
+	g := starGraph(100, nil)
+	if g.NumHubs() != 1 {
+		t.Fatalf("NumHubs = %d, want 1", g.NumHubs())
+	}
+	bmp := g.HubBitmap(0)
+	if bmp == nil {
+		t.Fatal("center has no bitmap")
+	}
+	for v := 1; v <= 100; v++ {
+		if !bmp.Contains(VertexID(v)) {
+			t.Fatalf("center bitmap missing leaf %d", v)
+		}
+	}
+	if bmp.Contains(0) {
+		t.Fatal("center bitmap contains the center itself")
+	}
+	if g.HubBitmap(1) != nil {
+		t.Fatal("leaf returned a bitmap")
+	}
+	if g.HubIndexBytes() <= 0 {
+		t.Fatal("hub index reports zero bytes")
+	}
+}
+
+func TestExplicitThresholdBoundary(t *testing.T) {
+	// Degrees: 0:4, 1:2, 2:2, 3:1, 4:1 — τ=2 indexes {0,1,2}, τ=3
+	// only {0}, τ=5 none.
+	g := starGraph(4, [][2]VertexID{{1, 2}})
+	g.BuildHubIndex(2)
+	if g.HubThreshold() != 2 || g.NumHubs() != 3 {
+		t.Fatalf("τ=2: threshold %d hubs %d, want 2/3", g.HubThreshold(), g.NumHubs())
+	}
+	// Boundary: degree exactly τ is a hub.
+	if g.HubBitmap(1) == nil || g.HubBitmap(2) == nil {
+		t.Fatal("degree-τ vertex not indexed")
+	}
+	if g.HubBitmap(3) != nil {
+		t.Fatal("degree τ-1 vertex indexed")
+	}
+	g.BuildHubIndex(3)
+	if g.NumHubs() != 1 || g.HubBitmap(0) == nil || g.HubBitmap(1) != nil {
+		t.Fatalf("τ=3: hubs %d", g.NumHubs())
+	}
+	g.BuildHubIndex(5)
+	if g.NumHubs() != 0 {
+		t.Fatalf("τ=5: hubs %d, want 0", g.NumHubs())
+	}
+	// Negative drops the index entirely.
+	g.BuildHubIndex(-1)
+	if g.HubThreshold() != 0 || g.HubBitmap(0) != nil {
+		t.Fatal("BuildHubIndex(-1) did not drop the index")
+	}
+}
+
+// TestBitmapMatchesNeighbors is the content property: with τ=1 every
+// vertex is a hub and each bitmap must answer Contains exactly like a
+// membership query on the neighbor list.
+func TestBitmapMatchesNeighbors(t *testing.T) {
+	g := starGraph(6, [][2]VertexID{{1, 2}, {2, 3}, {5, 6}})
+	g.BuildHubIndex(1)
+	n := g.NumVertices()
+	if g.NumHubs() != n {
+		t.Fatalf("τ=1 indexed %d of %d vertices", g.NumHubs(), n)
+	}
+	for v := 0; v < n; v++ {
+		bmp := g.HubBitmap(VertexID(v))
+		if bmp == nil {
+			t.Fatalf("vertex %d has no bitmap at τ=1", v)
+		}
+		if bmp.Ones() != g.Degree(VertexID(v)) {
+			t.Fatalf("vertex %d bitmap has %d ones, degree is %d", v, bmp.Ones(), g.Degree(VertexID(v)))
+		}
+		for u := 0; u < n; u++ {
+			if bmp.Contains(VertexID(u)) != g.HasEdge(VertexID(v), VertexID(u)) {
+				t.Fatalf("bitmap(%d).Contains(%d) = %v, HasEdge = %v",
+					v, u, bmp.Contains(VertexID(u)), g.HasEdge(VertexID(v), VertexID(u)))
+			}
+		}
+	}
+}
+
+// TestBudgetSkipsWideSpans pins the memory budget: a hub whose bitmap
+// span exceeds the remaining budget is skipped (falls back to list
+// kernels) while narrow-span hubs still get bitmaps.
+func TestBudgetSkipsWideSpans(t *testing.T) {
+	// Vertex 0's neighbors {1, wide} span ~600k ids → ~75 KB bitmap,
+	// over the 64 KiB floor budget (the adjacency is tiny). The triangle
+	// 10-11-12 spans 3 ids each.
+	const wide = 600000
+	b := NewBuilder(wide + 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, wide)
+	b.AddEdge(10, 11)
+	b.AddEdge(10, 12)
+	b.AddEdge(11, 12)
+	g := b.Build()
+	g.BuildHubIndex(2)
+	if g.HubBitmap(0) != nil {
+		t.Fatal("over-budget hub got a bitmap")
+	}
+	if g.HubBitmap(10) == nil || g.HubBitmap(11) == nil || g.HubBitmap(12) == nil {
+		t.Fatal("narrow-span hubs skipped")
+	}
+	if g.HubIndexBytes() > g.hubBudgetBytes() {
+		t.Fatalf("index bytes %d exceed budget %d", g.HubIndexBytes(), g.hubBudgetBytes())
+	}
+}
+
+func TestReorderRebuildsIndex(t *testing.T) {
+	g := starGraph(80, nil)
+	rg := Reorder(g)
+	// In the reordered (degree-ascending) labeling the center is the
+	// last vertex; its bitmap must reflect the new ids.
+	center := VertexID(rg.NumVertices() - 1)
+	if rg.Degree(center) != 80 {
+		t.Fatalf("reordered center degree %d", rg.Degree(center))
+	}
+	bmp := rg.HubBitmap(center)
+	if bmp == nil {
+		t.Fatal("reordered center not indexed")
+	}
+	for _, u := range rg.Neighbors(center) {
+		if !bmp.Contains(u) {
+			t.Fatalf("reordered bitmap missing neighbor %d", u)
+		}
+	}
+}
+
+func TestEmptyGraphNoIndex(t *testing.T) {
+	var g Graph
+	g.BuildHubIndex(0)
+	if g.HubThreshold() != 0 || g.NumHubs() != 0 || g.HubBitmap(0) != nil {
+		t.Fatal("empty graph built a hub index")
+	}
+	eg := NewBuilder(3).Build() // vertices, no edges
+	if eg.HubThreshold() != 0 {
+		t.Fatalf("edgeless graph τ = %d", eg.HubThreshold())
+	}
+}
+
+func TestHubBitmapZeroAlloc(t *testing.T) {
+	g := starGraph(100, nil)
+	if n := testing.AllocsPerRun(100, func() {
+		_ = g.HubBitmap(0)
+		_ = g.HubBitmap(1)
+	}); n != 0 {
+		t.Fatalf("HubBitmap allocates %v per run", n)
+	}
+}

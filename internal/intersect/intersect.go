@@ -43,6 +43,12 @@ const (
 	// KindHybridBlock is Algorithm 4 with block-skipping Merge — the
 	// stand-in for the paper's HybridAVX2.
 	KindHybridBlock
+	// KindMergeBitmap probes hub bitmaps for high-degree K1 operands and
+	// falls back to MergeBlock between plain lists (see MultiWayBitmap).
+	KindMergeBitmap
+	// KindHybridBitmap probes hub bitmaps and falls back to HybridBlock
+	// between plain lists — the production bitmap configuration.
+	KindHybridBitmap
 )
 
 // String returns the kernel name as used in the paper's figures.
@@ -58,13 +64,34 @@ func (k Kind) String() string {
 		return "Hybrid"
 	case KindHybridBlock:
 		return "HybridBlock"
+	case KindMergeBitmap:
+		return "MergeBitmap"
+	case KindHybridBitmap:
+		return "HybridBitmap"
 	}
 	return "Unknown"
 }
 
+// ListFallback returns the pure list kernel a bitmap kind degrades to
+// when no operand has a hub bitmap; non-bitmap kinds return themselves.
+func (k Kind) ListFallback() Kind {
+	switch k {
+	case KindMergeBitmap:
+		return KindMergeBlock
+	case KindHybridBitmap:
+		return KindHybridBlock
+	}
+	return k
+}
+
+// UsesBitmaps reports whether k is one of the bitmap-probing kinds.
+func (k Kind) UsesBitmaps() bool {
+	return k == KindMergeBitmap || k == KindHybridBitmap
+}
+
 // ParseKind maps a kernel name (as printed by String) to its Kind.
 func ParseKind(s string) (Kind, bool) {
-	for k := KindMerge; k <= KindHybridBlock; k++ {
+	for k := KindMerge; k <= KindHybridBitmap; k++ {
 		if k.String() == s {
 			return k, true
 		}
@@ -79,6 +106,7 @@ type Stats struct {
 	Intersections uint64 // total pairwise intersection operations
 	Galloping     uint64 // how many of them used the galloping path
 	Elements      uint64 // total input elements scanned (len(a)+len(b) per op)
+	BitmapProbes  uint64 // elements probed against hub bitmaps
 }
 
 // Add accumulates other into s.
@@ -86,6 +114,7 @@ func (s *Stats) Add(other Stats) {
 	s.Intersections += other.Intersections
 	s.Galloping += other.Galloping
 	s.Elements += other.Elements
+	s.BitmapProbes += other.BitmapProbes
 }
 
 // GallopingPercent returns the percentage of intersections that used the
@@ -108,6 +137,9 @@ func Pair(dst, a, b []graph.VertexID, k Kind, delta int, stats *Stats) int {
 		stats.Intersections++
 		stats.Elements += uint64(len(a) + len(b))
 	}
+	// Pair has no bitmap operands; bitmap kinds run their list fallback
+	// here (MultiWayBitmap is the bitmap-aware entry point).
+	k = k.ListFallback()
 	switch k {
 	case KindMerge:
 		return Merge(dst, a, b)
@@ -296,11 +328,22 @@ func skewed(la, lb, delta int) bool {
 }
 
 // Count returns |a ∩ b| without materializing the result, using the
-// hybrid strategy with threshold delta.
+// hybrid strategy with threshold delta. The operation is recorded in
+// stats (which may be nil) exactly like a materializing Pair call:
+// counting intersections are intersections, and leaving them out of
+// Stats silently skewed Fig 5/Table III-style reports and excluded the
+// counting path from serial-vs-parallel counter-parity checks.
 //
 //light:hotpath
-func Count(a, b []graph.VertexID, delta int) int {
+func Count(a, b []graph.VertexID, delta int, stats *Stats) int {
+	if stats != nil {
+		stats.Intersections++
+		stats.Elements += uint64(len(a) + len(b))
+	}
 	if skewed(len(a), len(b), delta) {
+		if stats != nil {
+			stats.Galloping++
+		}
 		return countGalloping(a, b)
 	}
 	n := 0
@@ -362,7 +405,8 @@ func Contains(s []graph.VertexID, x graph.VertexID) bool {
 // at least min over sets of len. Returns the count written into dst.
 //
 // The sets slice is reordered in place (ascending length). With one set,
-// its contents are copied into dst.
+// its contents are copied into dst; an undersized dst panics instead of
+// silently truncating (see copySingle).
 //
 //light:hotpath
 func MultiWay(dst, scratch []graph.VertexID, sets [][]graph.VertexID, k Kind, delta int, stats *Stats) int {
@@ -370,7 +414,7 @@ func MultiWay(dst, scratch []graph.VertexID, sets [][]graph.VertexID, k Kind, de
 	case 0:
 		return 0
 	case 1:
-		return copy(dst[:cap(dst)], sets[0])
+		return copySingle(dst, sets[0])
 	}
 	// Selection sort by length: set counts are tiny (≤ pattern degree).
 	for i := range sets {
@@ -394,4 +438,19 @@ func MultiWay(dst, scratch []graph.VertexID, sets [][]graph.VertexID, k Kind, de
 		copy(dst[:n], cur[:n])
 	}
 	return n
+}
+
+// copySingle is the one-operand case of the multiway kernels: the
+// intersection of a single set is the set itself. The capacity contract
+// (cap(dst) >= the minimum set length — here the only set) is enforced
+// rather than assumed: a bare copy(dst[:cap(dst)], s) would silently
+// truncate an undersized destination and return a wrong count, turning
+// a caller bug into a wrong enumeration answer instead of a crash.
+//
+//light:hotpath
+func copySingle(dst, s []graph.VertexID) int {
+	if cap(dst) < len(s) {
+		panic("intersect: destination capacity below single-operand length (multiway capacity contract violated)")
+	}
+	return copy(dst[:cap(dst)], s)
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"light/internal/bitset"
 	"light/internal/graph"
 )
 
@@ -61,7 +62,9 @@ func runKernel(k Kind, a, b []graph.VertexID) []graph.VertexID {
 	return dst[:n]
 }
 
-var allKinds = []Kind{KindMerge, KindMergeBlock, KindGalloping, KindHybrid, KindHybridBlock}
+// allKinds includes the bitmap kinds: through Pair they must behave
+// exactly like their list fallbacks (Pair has no bitmap operands).
+var allKinds = []Kind{KindMerge, KindMergeBlock, KindGalloping, KindHybrid, KindHybridBlock, KindMergeBitmap, KindHybridBitmap}
 
 func TestKernelsFixedCases(t *testing.T) {
 	cases := []struct{ a, b, want []graph.VertexID }{
@@ -172,17 +175,109 @@ func TestCount(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		a := randomSorted(rng, 80, 150)
 		b := randomSorted(rng, 80, 150)
-		if got, want := Count(a, b, DefaultDelta), len(refIntersect(a, b)); got != want {
+		if got, want := Count(a, b, DefaultDelta, nil), len(refIntersect(a, b)); got != want {
 			t.Fatalf("Count = %d, want %d", got, want)
 		}
 	}
-	// Force both dispatch paths.
-	if Count(ids(1), ids(1, 2, 3), 1) != 1 {
+	// Force both dispatch paths. A nil stats must be accepted.
+	if Count(ids(1), ids(1, 2, 3), 1, nil) != 1 {
 		t.Fatal("galloping count wrong")
 	}
-	if Count(ids(1, 2), ids(2, 3), 100) != 1 {
+	if Count(ids(1, 2), ids(2, 3), 100, nil) != 1 {
 		t.Fatal("merge count wrong")
 	}
+}
+
+// TestCountStats is the regression test for the counter-parity bugfix:
+// Count used to bypass *Stats entirely, so counting-mode intersections
+// and scanned elements never reached reports. Every expectation below
+// is hand-counted.
+func TestCountStats(t *testing.T) {
+	var st Stats
+	// Merge path: |a|=4, |b|=3, ratio 4/3 < δ=50. One intersection,
+	// 4+3=7 elements, no galloping, |a ∩ b| = |{2,4}| = 2.
+	if got := Count(ids(1, 2, 3, 4), ids(2, 4, 6), DefaultDelta, &st); got != 2 {
+		t.Fatalf("merge-path Count = %d, want 2", got)
+	}
+	if st.Intersections != 1 || st.Elements != 7 || st.Galloping != 0 {
+		t.Fatalf("merge-path stats = %+v, want {Intersections:1 Elements:7 Galloping:0}", st)
+	}
+	// Galloping path: δ=1 makes the 2/2 ratio skewed. Second
+	// intersection, 2+2=4 more elements (11 total), one gallop.
+	if got := Count(ids(1, 2), ids(2, 3), 1, &st); got != 1 {
+		t.Fatalf("galloping-path Count = %d, want 1", got)
+	}
+	if st.Intersections != 2 || st.Elements != 11 || st.Galloping != 1 {
+		t.Fatalf("galloping-path stats = %+v, want {Intersections:2 Elements:11 Galloping:1}", st)
+	}
+	// Empty input is skewed by definition: gallops, scans 0+3 elements.
+	if got := Count(nil, ids(1, 2, 3), DefaultDelta, &st); got != 0 {
+		t.Fatalf("empty Count = %d, want 0", got)
+	}
+	if st.Intersections != 3 || st.Elements != 14 || st.Galloping != 2 {
+		t.Fatalf("empty-input stats = %+v, want {Intersections:3 Elements:14 Galloping:2}", st)
+	}
+	// Count and Pair must account identically for the same operands, so
+	// counting-mode runs stay counter-comparable with materializing runs.
+	var cs, ps Stats
+	a, b := ids(1, 2, 3, 4), ids(2, 4, 6)
+	Count(a, b, DefaultDelta, &cs)
+	Pair(make([]graph.VertexID, 3), a, b, KindHybrid, DefaultDelta, &ps)
+	if cs != ps {
+		t.Fatalf("Count stats %+v != Pair stats %+v for identical operands", cs, ps)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic, got none", name)
+		}
+	}()
+	f()
+}
+
+// TestMultiWayCapacityEdges is the regression table for the silent-
+// truncation bugfix: the single-set path used to copy(dst[:cap(dst)],
+// sets[0]) and return the truncated count when dst was undersized.
+// Cases cover the 0/1/2/k-set capacity edges.
+func TestMultiWayCapacityEdges(t *testing.T) {
+	sets := func(ss ...[]graph.VertexID) [][]graph.VertexID { return ss }
+	// 0 sets: nil dst is fine, result 0.
+	if n := MultiWay(nil, nil, nil, KindMerge, DefaultDelta, nil); n != 0 {
+		t.Fatalf("0 sets: n = %d", n)
+	}
+	// 1 empty set: zero-capacity dst satisfies the contract.
+	if n := MultiWay(nil, nil, sets(ids()), KindMerge, DefaultDelta, nil); n != 0 {
+		t.Fatalf("1 empty set: n = %d", n)
+	}
+	// 1 set, exact capacity: full copy.
+	dst3 := make([]graph.VertexID, 3)
+	if n := MultiWay(dst3, nil, sets(ids(7, 8, 9)), KindMerge, DefaultDelta, nil); n != 3 {
+		t.Fatalf("1 set exact cap: n = %d, want 3", n)
+	}
+	// 1 set, undersized dst: must panic, not return a truncated count.
+	mustPanic(t, "MultiWay 1 set cap 2 < len 3", func() {
+		MultiWay(make([]graph.VertexID, 2), nil, sets(ids(7, 8, 9)), KindMerge, DefaultDelta, nil)
+	})
+	mustPanic(t, "MultiWay 1 set nil dst", func() {
+		MultiWay(nil, nil, sets(ids(1)), KindMerge, DefaultDelta, nil)
+	})
+	// 2 sets: capacity = min set length is sufficient by contract.
+	dst1 := make([]graph.VertexID, 1)
+	scratch1 := make([]graph.VertexID, 1)
+	if n := MultiWay(dst1, scratch1, sets(ids(2), ids(1, 2, 3)), KindMerge, DefaultDelta, nil); n != 1 || dst1[0] != 2 {
+		t.Fatalf("2 sets: n = %d dst = %v", n, dst1)
+	}
+	// k sets with an empty operand: min length 0, zero-capacity buffers.
+	if n := MultiWay(nil, nil, sets(ids(1, 2), ids(), ids(3)), KindMerge, DefaultDelta, nil); n != 0 {
+		t.Fatalf("k sets with empty operand: n = %d", n)
+	}
+	// MultiWayBitmap shares the single-set contract.
+	mustPanic(t, "MultiWayBitmap 1 set cap 0 < len 2", func() {
+		MultiWayBitmap(nil, nil, sets(ids(1, 2)), make([]*bitset.Bitmap, 1), KindHybridBitmap, DefaultDelta, nil)
+	})
 }
 
 func TestContains(t *testing.T) {

@@ -43,6 +43,7 @@ type BenchRow struct {
 	Intersections uint64 `json:"intersections,omitempty"`
 	Galloping     uint64 `json:"galloping,omitempty"`
 	Elements      uint64 `json:"elements,omitempty"`
+	BitmapProbes  uint64 `json:"bitmap_probes,omitempty"`
 	MemoryBytes   int64  `json:"memory_bytes,omitempty"`
 }
 
@@ -97,9 +98,9 @@ func (r *BenchReport) computeFingerprint() string {
 		h.Write([]byte(s)) //lightvet:ignore hygiene -- fnv.Write cannot fail
 	}
 	for _, row := range r.Rows {
-		w(fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d\n",
+		w(fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d|%d\n",
 			row.key(), row.Mark, row.Matches, row.Nodes, row.Comps,
-			row.Intersections, row.Galloping, row.Elements))
+			row.Intersections, row.Galloping, row.Elements, row.BitmapProbes))
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
@@ -195,6 +196,7 @@ func CompareBench(baseline, fresh *BenchReport, wallTolerance float64, wallSlack
 			{"intersections", b.Intersections, row.Intersections},
 			{"galloping", b.Galloping, row.Galloping},
 			{"elements", b.Elements, row.Elements},
+			{"bitmap_probes", b.BitmapProbes, row.BitmapProbes},
 		}
 		for _, cc := range counters {
 			if cc.old != cc.new {

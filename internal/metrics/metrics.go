@@ -50,6 +50,9 @@ const (
 	// pairwise intersections (len(a)+len(b) per operation) — the
 	// element-throughput base.
 	IntersectElements
+	// IntersectBitmapProbes counts elements probed against hub bitmaps
+	// by the bitmap kernels (each probe replaces a gallop step).
+	IntersectBitmapProbes
 	// ParallelDonations counts frames pushed to the global queue.
 	ParallelDonations
 	// ParallelSteals counts frames executed by a worker other than the
@@ -72,6 +75,9 @@ const (
 	CheckpointWriteNanos
 	// CheckpointWriteErrors counts failed checkpoint writes.
 	CheckpointWriteErrors
+	// ArenaBytes accumulates the slab footprint of the per-worker
+	// candidate arenas (the Table V memory metric for the arena path).
+	ArenaBytes
 	// NumIDs is the registry size; not a counter.
 	NumIDs
 )
@@ -92,6 +98,7 @@ var idNames = [NumIDs]string{
 	IntersectGalloping:     "intersect.galloping",
 	IntersectMerge:         "intersect.merge",
 	IntersectElements:      "intersect.elements",
+	IntersectBitmapProbes:  "intersect.bitmap_probes",
 	ParallelDonations:      "parallel.donations",
 	ParallelSteals:         "parallel.steals",
 	ParallelRootChunks:     "parallel.root_chunks",
@@ -101,6 +108,7 @@ var idNames = [NumIDs]string{
 	CheckpointWrites:       "checkpoint.writes",
 	CheckpointWriteNanos:   "checkpoint.write_ns",
 	CheckpointWriteErrors:  "checkpoint.write_errors",
+	ArenaBytes:             "arena.bytes",
 }
 
 // cacheLine is the assumed cache-line size; each counter occupies one

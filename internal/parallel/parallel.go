@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"light/internal/arena"
 	"light/internal/engine"
 	"light/internal/faultpoint"
 	"light/internal/graph"
@@ -80,6 +81,10 @@ type CheckpointOptions struct {
 
 // Options configure a parallel run.
 type Options struct {
+	// Engine configures each worker's enumerator. Engine.Arena is
+	// overridden: every worker gets its own private arena (a shared one
+	// would race), and the summed slab footprint is reported as
+	// Result.CandidateMemBytes and the arena.bytes counter.
 	Engine engine.Options
 	// Workers is the number of worker goroutines; defaults to GOMAXPROCS.
 	Workers int
@@ -319,6 +324,7 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 		out.CandidateMemBytes += memBytes[w]
 		out.PerWorkerNodes[w] = results[w].Nodes
 		rec.AddDuration(metrics.ParallelBusyNanos, busys[w])
+		rec.Add(metrics.ArenaBytes, uint64(memBytes[w]))
 	}
 	out.Donations = p.donations.Load()
 	out.Steals = p.steals.Load()
@@ -442,7 +448,9 @@ func (p *pool) worker(idx int) (engine.Result, int64, time.Duration, error) {
 	if err := faultpoint.Hit(faultpoint.PointWorkerStart); err != nil {
 		return engine.Result{}, 0, 0, fmt.Errorf("parallel: worker %d start: %w", idx, err)
 	}
-	e := engine.New(p.g, p.pl, p.opts.Engine)
+	eopts := p.opts.Engine
+	eopts.Arena = arena.New() // per-worker: arenas must never be shared across goroutines
+	e := engine.New(p.g, p.pl, eopts)
 	e.Stop = &p.stop
 	ws := &workerState{}
 	if p.opts.Scheduler == WorkStealing {
@@ -469,9 +477,10 @@ func (p *pool) worker(idx int) (engine.Result, int64, time.Duration, error) {
 
 // runLoop is the worker body proper: claim root chunks while any remain,
 // then execute donated frames until global termination. It stays
-// allocation-free — every per-worker buffer was allocated by engine.New
-// before entry, and the ledger (acknowledged-cold, once per chunk) owns
-// its own memory.
+// allocation-free in steady state — candidate buffers come from the
+// worker's arena (slabs grown on the first chunk, reused afterwards),
+// and the ledger (acknowledged-cold, once per chunk) owns its own
+// memory.
 //
 //light:hotpath
 func (p *pool) runLoop(e *engine.Enumerator, ws *workerState) (engine.Result, error) {

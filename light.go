@@ -256,6 +256,15 @@ const (
 	Galloping
 	// Hybrid is Algorithm 4 with the scalar merge.
 	Hybrid
+	// MergeBitmap is the block-skipping merge with hub-bitmap probing:
+	// intersections whose operands include a high-degree hub filter the
+	// smallest operand through the hub's bitmap (O(1) per element)
+	// instead of merging the lists. Falls back to MergeBlock when no
+	// operand is an indexed hub.
+	MergeBitmap
+	// HybridBitmap is HybridBlock with hub-bitmap probing — the fastest
+	// configuration on hub-dominated graphs.
+	HybridBitmap
 )
 
 // String returns the kernel name used in the paper's figures.
@@ -271,6 +280,10 @@ func (i Intersection) kind() intersect.Kind {
 		return intersect.KindGalloping
 	case Hybrid:
 		return intersect.KindHybrid
+	case MergeBitmap:
+		return intersect.KindMergeBitmap
+	case HybridBitmap:
+		return intersect.KindHybridBitmap
 	}
 	return intersect.KindHybridBlock
 }
@@ -293,6 +306,14 @@ type Options struct {
 	// Order overrides the cost-based enumeration order with an explicit
 	// permutation of pattern vertices (advanced; must be connected).
 	Order []int
+	// HubDegreeThreshold tunes the graph's hub bitmap index, used by
+	// the bitmap intersection kernels: 0 keeps the auto-tuned index
+	// built at graph construction, a positive value rebuilds the index
+	// with that degree threshold τ, and a negative value drops the
+	// index (bitmap kernels then run their list fallbacks). Rebuilding
+	// mutates the shared *Graph, so do not change it while another run
+	// on the same graph is in flight.
+	HubDegreeThreshold int
 	// CheckpointPath, when non-empty, periodically persists the run's
 	// committed state to this file (atomic temp-file+rename writes) so
 	// an interrupted run can be resumed with ResumeFrom. Forces the
@@ -393,6 +414,9 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 		return Result{}, err
 	}
 	rec := metrics.NewRecorder()
+	if opts.HubDegreeThreshold != 0 {
+		g.g.BuildHubIndex(opts.HubDegreeThreshold)
+	}
 	eopts := engine.Options{
 		Kernel:    opts.Intersection.kind(),
 		TimeLimit: opts.TimeLimit,
@@ -445,6 +469,7 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 	})
 	res = fill(res, eres, time.Since(start))
 	res.CandidateMemoryBytes = e.CandidateMemoryBytes()
+	rec.Add(metrics.ArenaBytes, uint64(res.CandidateMemoryBytes))
 	res.Report = newRunReport(rec, opts, 1, res.Duration, res.CandidateMemoryBytes, nil)
 	if verr := visitErr(); verr != nil {
 		err = verr

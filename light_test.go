@@ -52,7 +52,7 @@ func TestAllKernelsAgree(t *testing.T) {
 	g := GenerateBarabasiAlbert(200, 5, 2)
 	p, _ := PatternByName("P2")
 	var want uint64
-	for i, k := range []Intersection{HybridBlock, Merge, MergeBlock, Galloping, Hybrid} {
+	for i, k := range []Intersection{HybridBlock, Merge, MergeBlock, Galloping, Hybrid, MergeBitmap, HybridBitmap} {
 		res, err := Count(g, p, Options{Intersection: k})
 		if err != nil {
 			t.Fatal(err)
@@ -79,8 +79,16 @@ func TestParallelAgreesWithSequential(t *testing.T) {
 	if seq.Matches != par.Matches {
 		t.Fatalf("parallel %d != sequential %d", par.Matches, seq.Matches)
 	}
-	if par.CandidateMemoryBytes <= seq.CandidateMemoryBytes {
-		t.Fatal("parallel memory accounting missing")
+	// Buffers come from per-worker arenas carved on demand, so the
+	// parallel footprint is at least the sequential one (every worker
+	// that touched work grew its own slab) and never zero.
+	if par.CandidateMemoryBytes < seq.CandidateMemoryBytes || par.CandidateMemoryBytes <= 0 {
+		t.Fatalf("parallel memory accounting missing: par %d, seq %d",
+			par.CandidateMemoryBytes, seq.CandidateMemoryBytes)
+	}
+	if par.Report.ArenaBytes != uint64(par.CandidateMemoryBytes) {
+		t.Fatalf("report arena bytes %d != candidate memory %d",
+			par.Report.ArenaBytes, par.CandidateMemoryBytes)
 	}
 }
 

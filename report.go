@@ -44,6 +44,9 @@ type RunReport struct {
 	Merges uint64 `json:"merges"`
 	// Elements is the total input elements scanned across intersections.
 	Elements uint64 `json:"elements"`
+	// BitmapProbes is the number of elements probed against hub bitmaps
+	// (nonzero only for the bitmap kernels on graphs with indexed hubs).
+	BitmapProbes uint64 `json:"bitmap_probes,omitempty"`
 	// GallopingPercent is 100·Galloping/Intersections (Table III).
 	GallopingPercent float64 `json:"galloping_percent"`
 
@@ -73,6 +76,10 @@ type RunReport struct {
 
 	// CandidateMemoryBytes is the candidate-buffer memory across workers.
 	CandidateMemoryBytes int64 `json:"candidate_memory_bytes"`
+	// ArenaBytes is the slab footprint of the per-worker candidate
+	// arenas (equals CandidateMemoryBytes; kept as its own counter so
+	// snapshots and the bench gate can track it independently).
+	ArenaBytes uint64 `json:"arena_bytes,omitempty"`
 }
 
 // newRunReport assembles the public report from the run's recorder plus
@@ -91,6 +98,7 @@ func newRunReport(rec *metrics.Recorder, opts Options, workers int, d time.Durat
 		Galloping:     rec.Get(metrics.IntersectGalloping),
 		Merges:        rec.Get(metrics.IntersectMerge),
 		Elements:      rec.Get(metrics.IntersectElements),
+		BitmapProbes:  rec.Get(metrics.IntersectBitmapProbes),
 
 		Donations:   rec.Get(metrics.ParallelDonations),
 		Steals:      rec.Get(metrics.ParallelSteals),
@@ -104,6 +112,7 @@ func newRunReport(rec *metrics.Recorder, opts Options, workers int, d time.Durat
 		CheckpointWriteErrors: rec.Get(metrics.CheckpointWriteErrors),
 
 		CandidateMemoryBytes: memBytes,
+		ArenaBytes:           rec.Get(metrics.ArenaBytes),
 	}
 	if r.Intersections > 0 {
 		r.GallopingPercent = 100 * float64(r.Galloping) / float64(r.Intersections)
