@@ -122,7 +122,7 @@ func main() {
 					if i > 0 {
 						out.WriteByte(' ') //lightvet:ignore hygiene -- bufio sticky error is checked at Flush
 					}
-					fmt.Fprintf(out, "%d", v)
+					fmt.Fprintf(out, "%d", v) //lightvet:ignore hygiene -- bufio sticky error is checked at Flush
 				}
 				out.WriteByte('\n') //lightvet:ignore hygiene -- bufio sticky error is checked at Flush
 			}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"light/internal/lint"
+)
+
+func testFinding() lint.Finding {
+	return lint.Finding{
+		Analyzer: "statflow",
+		Pos:      token.Position{Filename: "internal/intersect/intersect.go", Line: 42, Column: 7},
+		Message:  "counters dropped",
+	}
+}
+
+func TestGHAnnotationFormat(t *testing.T) {
+	got := ghAnnotation(testFinding())
+	want := "::error file=internal/intersect/intersect.go,line=42,col=7::[statflow] counters dropped"
+	if got != want {
+		t.Fatalf("annotation = %q, want %q", got, want)
+	}
+}
+
+func TestWriteJSONSchema(t *testing.T) {
+	var buf strings.Builder
+	err := writeJSON(&buf, "-", "light", lint.All(), []lint.Finding{testFinding()})
+	if err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Schema != "lightvet/1" || rep.Module != "light" {
+		t.Fatalf("header = %q/%q", rep.Schema, rep.Module)
+	}
+	if len(rep.Analyzers) != len(lint.All()) {
+		t.Fatalf("analyzers = %v", rep.Analyzers)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Line != 42 || rep.Findings[0].Analyzer != "statflow" {
+		t.Fatalf("findings = %+v", rep.Findings)
+	}
+}
+
+func TestWriteJSONEmptyFindingsIsArray(t *testing.T) {
+	var buf strings.Builder
+	if err := writeJSON(&buf, "-", "light", nil, nil); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), "\"findings\": []") {
+		t.Fatalf("empty findings must marshal as [], got:\n%s", buf.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-analyzers", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown analyzer: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-unused-ignores", "-analyzers", "hygiene"}, &out, &errOut); code != 2 {
+		t.Fatalf("audit with subset: exit = %d, want 2", code)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list: exit = %d, stderr %q", code, errOut.String())
+	}
+	for _, name := range []string{"hotpath", "statflow", "cancelpoll", "capcontract"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -238,6 +238,12 @@ func (e *Enumerator) RunRoots(roots []graph.VertexID, visit VisitFunc) (Result, 
 	e.begin(visit)
 	rootVertex := e.pl.Pi[0]
 	for _, v := range roots {
+		// Poll before the filter: a filter that rejects every root
+		// would otherwise spin through the whole candidate set without
+		// ever observing cancellation (the cancelpoll invariant).
+		if !e.checkDeadline() {
+			break
+		}
 		if e.opts.Filter != nil && !e.opts.Filter(rootVertex, v) {
 			continue
 		}
@@ -553,6 +559,12 @@ func (e *Enumerator) matLoop(i int, candidates []graph.VertexID, checkHook bool)
 		minDeg = e.pl.Pattern.Degree(u)
 	}
 	for _, v := range candidates {
+		// Poll first: the injectivity/degree/filter rejects used to
+		// precede the poll, so candidate runs rejected wholesale
+		// completed iterations without a cancellation check.
+		if !e.checkDeadline() {
+			return false
+		}
 		if e.usedValue(v) {
 			continue
 		}
@@ -561,9 +573,6 @@ func (e *Enumerator) matLoop(i int, candidates []graph.VertexID, checkHook bool)
 		}
 		if e.opts.Filter != nil && !e.opts.Filter(u, v) {
 			continue
-		}
-		if !e.checkDeadline() {
-			return false
 		}
 		e.assigned[u] = v
 		e.matMask |= bit

@@ -73,6 +73,77 @@ func TestTailCountTimeLimitLatency(t *testing.T) {
 	}
 }
 
+// TestRootFilterCancellationLatency pins the RunRoots poll hoist: the
+// root loop used to poll only after the Filter guard, so a filter that
+// rejects every root spun through the whole candidate set without a
+// single checkDeadline call — a pre-set Stop flag was never observed
+// and the run completed with Stopped=false. The poll now precedes the
+// filter, so the first root iteration sees the flag.
+func TestRootFilterCancellationLatency(t *testing.T) {
+	g := gen.Star(30000)
+	p := pattern.Path(2)
+	po := pattern.SymmetryBreaking(p)
+	pl, err := plan.Compile(p, po, []pattern.Vertex{0, 1}, plan.ModeLIGHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejectRoots := func(u int, v graph.VertexID) bool { return u != int(pl.Pi[0]) }
+	e := New(g, pl, Options{Filter: rejectRoots})
+	var stop stopFlag
+	stop.b.Store(true) // cancelled before the run even starts
+	e.Stop = &stop.b
+	res, err := e.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("pre-set Stop flag ignored behind an all-rejecting root filter: run completed, %d nodes", res.Nodes)
+	}
+	if res.Nodes != 0 {
+		t.Fatalf("cancelled run expanded %d nodes, want 0", res.Nodes)
+	}
+}
+
+// TestMatLoopFilterCancellationLatency is the MAT-loop flavor of the
+// same hoist: the candidate loop used to run its injectivity, degree,
+// and Filter rejects before the poll, so rejected candidates burned no
+// checkDeadline calls at all. The construction makes the latency gap
+// observable through the 8192-call poll cadence: the filter trips Stop
+// on the first tail candidate and rejects everything, so post-fix the
+// hub root's 30000 rejected candidates accumulate polls and the run
+// unwinds inside that first MAT loop (Nodes == 1). Pre-fix the MAT loop
+// contributed zero polls, so only the once-per-root poll advanced the
+// cadence and ~8192 further roots expanded before the flag was seen.
+func TestMatLoopFilterCancellationLatency(t *testing.T) {
+	g := gen.Star(30000) // hub is vertex 0, enumerated first
+	p := pattern.Path(2)
+	po := pattern.SymmetryBreaking(p)
+	pl, err := plan.Compile(p, po, []pattern.Vertex{0, 1}, plan.ModeLIGHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop stopFlag
+	trip := func(u int, v graph.VertexID) bool {
+		if u == int(pl.Pi[0]) {
+			return true // accept every root; reject (and trip on) tail candidates
+		}
+		stop.b.Store(true)
+		return false
+	}
+	e := New(g, pl, Options{Filter: trip})
+	e.Stop = &stop.b
+	res, err := e.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("Stop tripped by the tail filter was never observed: run completed, %d nodes", res.Nodes)
+	}
+	if res.Nodes > 4096 {
+		t.Fatalf("cancelled run expanded %d nodes, want the hub root only (pre-fix shape expands ~8192)", res.Nodes)
+	}
+}
+
 // TestFrameValidateMaskSigmaConsistency pins the Frame.Validate fix: a
 // frame whose MatMask disagrees with the σ prefix (wrong popcount or
 // wrong bits) must be rejected, because resume would apply injectivity

@@ -21,6 +21,7 @@ import (
 // element of a costs one bitmap probe, recorded in stats.BitmapProbes.
 //
 //light:hotpath
+//light:cap-contract
 func MergeBitmap(dst, a []graph.VertexID, hub *bitset.Bitmap, stats *Stats) int {
 	if stats != nil {
 		stats.Intersections++
@@ -107,7 +108,9 @@ func MultiWayBitmap(dst, scratch []graph.VertexID, sets [][]graph.VertexID, bitm
 		inDst = !inDst
 	}
 	if !inDst {
-		copy(dst[:n], cur)
+		// cur is curBuf[:n], so the bounds are provably equal; the
+		// explicit reslice states it (and satisfies capcontract).
+		copy(dst[:n], cur[:n])
 	}
 	return n
 }

@@ -171,8 +171,12 @@ func Pair(dst, a, b []graph.VertexID, k Kind, delta int, stats *Stats) int {
 }
 
 // Merge intersects two sorted sets with the classic two-pointer loop.
+// The capacity contract is the caller's: cap(dst) must cover the full
+// intersection (size it to min(len(a), len(b))); under-capacity panics
+// on the write.
 //
 //light:hotpath
+//light:cap-contract
 func Merge(dst, a, b []graph.VertexID) int {
 	dst = dst[:cap(dst)]
 	n := 0
@@ -196,9 +200,11 @@ func Merge(dst, a, b []graph.VertexID) int {
 // MergeBlock is Merge restructured the way the SIMD kernel is: whole
 // 8-element blocks whose maximum is below the other side's current
 // minimum are skipped with a single comparison (the vector compare), and
-// only value-overlapping windows are merged element-wise.
+// only value-overlapping windows are merged element-wise. Same caller
+// capacity contract as Merge: under-capacity panics on the write.
 //
 //light:hotpath
+//light:cap-contract
 func MergeBlock(dst, a, b []graph.VertexID) int {
 	dst = dst[:cap(dst)]
 	n := 0
@@ -280,9 +286,11 @@ func gallop(s []graph.VertexID, lo int, x graph.VertexID) int {
 
 // Galloping scans the smaller set and locates each element in the larger
 // one with exponential search. O(|small|·log|large|) — the right tool
-// under cardinality skew.
+// under cardinality skew. Same caller capacity contract as Merge:
+// under-capacity panics on the write.
 //
 //light:hotpath
+//light:cap-contract
 func Galloping(dst, a, b []graph.VertexID) int {
 	if len(a) > len(b) {
 		a, b = b, a

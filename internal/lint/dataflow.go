@@ -1,0 +1,105 @@
+// Dataflow helpers shared by the interprocedural analyzers: parameter
+// collection and expression/object reference tests (statflow,
+// capcontract), and a bottom-up existential fixpoint over the call graph
+// (cancelpoll's may-poll computation).
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// paramObjects returns the declared parameter objects of fd whose type
+// satisfies pred, in declaration order.
+func paramObjects(info *types.Info, fd *ast.FuncDecl, pred func(types.Type) bool) []*types.Var {
+	var out []*types.Var
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			v, ok := info.Defs[name].(*types.Var)
+			if !ok || !pred(v.Type()) {
+				continue
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// usesObject reports whether any identifier under n resolves to obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprIsObject reports whether e (modulo parens) is an identifier bound
+// to obj.
+func exprIsObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// isNilExpr reports whether e is the predeclared nil (possibly
+// parenthesized).
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// propagateUp computes the least fixpoint of "fn satisfies the property,
+// or fn has an out-edge (of a selected kind) to a function that does":
+// the bottom-up existential closure of base over the call graph.
+// cancelpoll uses it for "may reach a cancellation poll".
+func propagateUp(g *CallGraph, kinds EdgeKind, base map[*types.Func]bool) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for fn := range base {
+		if base[fn] {
+			out[fn] = true
+		}
+	}
+	// Iterate to fixpoint; the graph is small (one module), so the
+	// simple worklist-free sweep is fine and deterministic.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range g.Funcs() {
+			if out[fn] {
+				continue
+			}
+			for _, e := range g.Node(fn).Out {
+				if e.Kind&kinds != 0 && out[e.Callee] {
+					out[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

@@ -6,6 +6,7 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // Hotpath enforces the allocation-free discipline of the enumeration
@@ -32,119 +33,79 @@ var Hotpath = &Analyzer{
 	Run:  runHotpath,
 }
 
-// hotFunc is one module function the analyzer knows about.
+// hotFunc is one hot module function: its call-graph node plus the
+// annotated root it inherits the obligation from.
 type hotFunc struct {
 	pkg  *Package
 	decl *ast.FuncDecl
 	obj  *types.Func
-	// callees are the statically resolved module-internal calls.
-	callees []*types.Func
-	// root is non-nil once the function is known hot: the annotated
-	// function it is reachable from.
+	// root is the //light:hotpath function this one is reachable from
+	// (itself, for annotated roots).
 	root *types.Func
 }
 
 func runHotpath(m *Module) []Finding {
-	fns := map[*types.Func]*hotFunc{}
-	var order []*types.Func // deterministic iteration
-	for _, pkg := range m.Packages {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
+	g := m.CallGraph()
+
+	// Propagate hotness from the annotated roots over statically
+	// resolved calls only (EdgeCall): a dynamic dispatch cannot prove a
+	// callee hot. Functions whose doc comment declares them
+	// acknowledged-cold stop propagation. Per-root BFS in declaration
+	// order keeps the "reached from root X" attribution deterministic.
+	hot := map[*types.Func]*hotFunc{}
+	var order []*types.Func
+	mark := func(fn, root *types.Func) bool {
+		if _, seen := hot[fn]; seen {
+			return false
+		}
+		n := g.Node(fn)
+		hot[fn] = &hotFunc{pkg: n.Pkg, decl: n.Decl, obj: fn, root: root}
+		order = append(order, fn)
+		return true
+	}
+	for _, fn := range g.Funcs() {
+		n := g.Node(fn)
+		if !hotpathAnnotated(n.Decl.Doc) {
+			continue
+		}
+		mark(fn, fn)
+		queue := []*types.Func{fn}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range g.Node(cur).Out {
+				if e.Kind != EdgeCall {
 					continue
 				}
-				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
+				if _, seen := hot[e.Callee]; seen {
 					continue
 				}
-				fns[obj] = &hotFunc{pkg: pkg, decl: fd, obj: obj}
-				order = append(order, obj)
-			}
-		}
-	}
-
-	// Resolve the static call graph.
-	for _, obj := range order {
-		fn := fns[obj]
-		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if callee := staticCallee(fn.pkg.Info, call); callee != nil {
-				if _, inModule := fns[callee]; inModule {
-					fn.callees = append(fn.callees, callee)
+				if m.FuncIgnores(g.Node(e.Callee).Decl, "hotpath") {
+					continue
 				}
+				mark(e.Callee, hot[fn].root)
+				queue = append(queue, e.Callee)
 			}
-			return true
-		})
-	}
-
-	// Propagate hotness from the annotated roots, skipping functions
-	// whose doc comment declares them acknowledged-cold.
-	var queue []*types.Func
-	for _, obj := range order {
-		fn := fns[obj]
-		if hotpathAnnotated(fn.decl.Doc) {
-			fn.root = obj
-			queue = append(queue, obj)
-		}
-	}
-	for len(queue) > 0 {
-		obj := queue[0]
-		queue = queue[1:]
-		fn := fns[obj]
-		for _, callee := range fn.callees {
-			cf := fns[callee]
-			if cf.root != nil || funcIgnores(cf.decl, "hotpath") {
-				continue
-			}
-			cf.root = fn.root
-			queue = append(queue, callee)
 		}
 	}
 
 	var findings []Finding
-	for _, obj := range order {
-		fn := fns[obj]
-		if fn.root == nil {
-			continue
-		}
-		findings = append(findings, checkHotBody(fn)...)
+	for _, fn := range order {
+		findings = append(findings, checkHotBody(hot[fn])...)
 	}
+	// Per-root marking order is not global declaration order; restore
+	// it for deterministic reporting.
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
 	return findings
-}
-
-// staticCallee resolves a call expression to the *types.Func it
-// statically invokes: plain function calls, package-qualified calls, and
-// method calls on concrete receivers. Calls through function values,
-// fields, and interface methods return nil.
-func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		if f, ok := info.Uses[fun].(*types.Func); ok {
-			return f
-		}
-	case *ast.SelectorExpr:
-		if sel, ok := info.Selections[fun]; ok {
-			if sel.Kind() == types.MethodVal {
-				if f, ok := sel.Obj().(*types.Func); ok {
-					// Interface method calls dispatch dynamically.
-					if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
-						return nil
-					}
-					return f
-				}
-			}
-			return nil
-		}
-		// Package-qualified: pkg.Func.
-		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
-			return f
-		}
-	}
-	return nil
 }
 
 // checkHotBody reports every allocation-discipline violation in one hot

@@ -15,7 +15,14 @@ import (
 //     conventionally ignored), methods on strings.Builder and
 //     bytes.Buffer (documented to always return nil errors), and
 //     deferred calls, whose error has nowhere to go — check the sticky
-//     error explicitly instead.
+//     error explicitly instead,
+//   - in command mains, the fmt exemption does not cover fmt.Fprint*
+//     into a concrete buffered writer (e.g. *bufio.Writer): its write
+//     errors are sticky and surface only at Flush, so either the
+//     Fprint error or the final Flush error must be checked (the
+//     lightenum fix from PR 1, generalized). Writes to *os.File
+//     (os.Stdout/os.Stderr) and to interface-typed writers stay
+//     exempt.
 var Hygiene = &Analyzer{
 	Name: "hygiene",
 	Doc:  "exported identifiers need doc comments; error returns must not be discarded",
@@ -115,7 +122,14 @@ func checkDiscardedErrors(pkg *Package) []Finding {
 			if !ok {
 				return true
 			}
-			if isFmtCall(info, call) || isInfallibleWriter(info, call) {
+			if isFmtCall(info, call) {
+				if pkg.Pkg.Name() != "main" || !isFallibleFprint(info, call) {
+					return true
+				}
+				findings = append(findings, pkg.finding("hygiene", stmt, "error return of fmt.%s into a buffered writer is silently discarded (write errors surface only at Flush)", callName(call)))
+				return true
+			}
+			if isInfallibleWriter(info, call) {
 				return true
 			}
 			t := info.TypeOf(call)
@@ -127,6 +141,39 @@ func checkDiscardedErrors(pkg *Package) []Finding {
 		})
 	}
 	return findings
+}
+
+// isFallibleFprint reports whether the call is fmt.Fprint/Fprintf/
+// Fprintln whose writer argument has a concrete non-*os.File type that
+// is not documented-infallible — a buffered writer whose sticky error
+// someone must eventually check.
+func isFallibleFprint(info *types.Info, call *ast.CallExpr) bool {
+	switch callName(call) {
+	case "Fprint", "Fprintf", "Fprintln":
+	default:
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	t := info.TypeOf(call.Args[0])
+	if t == nil || types.IsInterface(t) {
+		return false // interface-typed writer: concrete sink unknown
+	}
+	base := t
+	if p, ok := base.Underlying().(*types.Pointer); ok {
+		base = p.Elem()
+	}
+	named, ok := base.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return true // concrete unnamed writer: be strict
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	switch full {
+	case "os.File", "strings.Builder", "bytes.Buffer":
+		return false
+	}
+	return true
 }
 
 func isFmtCall(info *types.Info, call *ast.CallExpr) bool {

@@ -3,14 +3,18 @@
 // standard library's go/ast, go/parser and go/types (no x/tools
 // dependency, honoring the repo's stdlib-only constraint).
 //
-// Four analyzers guard the invariants the paper's performance model
-// depends on:
+// The suite is interprocedural: a static call graph over the loaded
+// module (see CallGraph) plus small shared dataflow helpers back the
+// analyzers that reason across function boundaries.
+//
+// Seven analyzers guard the invariants the paper's performance and
+// exactness model depends on:
 //
 //   - hotpath: functions annotated //light:hotpath — and every module
-//     function they statically call — must stay allocation-free: no
-//     make/new, no heap composite literals, no closures, no fmt calls,
-//     no interface boxing, and no append into buffers that were not
-//     visibly preallocated.
+//     function they statically call, transitively over the call
+//     graph — must stay allocation-free: no make/new, no heap composite
+//     literals, no closures, no fmt calls, no interface boxing, and no
+//     append into buffers that were not visibly preallocated.
 //   - concurrency: synchronization discipline — locks copied by value,
 //     fields accessed both atomically and non-atomically,
 //     sync.Cond.Signal/Broadcast outside any lock, and goroutines
@@ -19,13 +23,27 @@
 //     in the CSR graph package, where int32/uint32 overflow is a real
 //     failure mode at production graph scale.
 //   - hygiene: exported identifiers without doc comments and silently
-//     discarded error returns.
+//     discarded error returns (in command mains, also fmt.Fprint* into
+//     fallible buffered writers).
+//   - statflow: counter parity — paths through the intersect kernels
+//     must thread the *intersect.Stats parameter; a dropped, shadowed,
+//     or missing stats argument silently corrupts the per-run counters
+//     the bench gate and run reports compare.
+//   - cancelpoll: any data-dependent loop reachable from the public
+//     Count/Enumerate entry points that can reach a cancellation poll
+//     must reach one on every iteration path, so cancellation latency
+//     stays bounded by one iteration.
+//   - capcontract: a copy or cap-extending reslice of a caller-supplied
+//     slice needs a checked cap/len guard or an explicit
+//     //light:cap-contract annotation on the function.
 //
 // Findings can be suppressed with a trailing or preceding
 // "//lightvet:ignore <analyzer>..." comment; a bare "//lightvet:ignore"
 // suppresses every analyzer. The same directive in a function's doc
 // comment suppresses the named analyzers for the whole function (and
-// keeps hotpath from propagating through it).
+// keeps hotpath from propagating through it). Suppressions that no
+// longer suppress anything are themselves findings under the
+// UnusedIgnores audit.
 package lint
 
 import (
@@ -64,6 +82,9 @@ type Module struct {
 	Path     string // module path, e.g. "light"
 	Fset     *token.FileSet
 	Packages []*Package
+
+	cg  *CallGraph      // lazily built, shared by analyzers
+	sup *suppressionSet // lazily built; accumulates usage marks
 }
 
 // Analyzer is one named check over a whole module.
@@ -75,7 +96,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Hotpath, Concurrency, IndexSafety, Hygiene}
+	return []*Analyzer{Hotpath, Concurrency, IndexSafety, Hygiene, Statflow, Cancelpoll, CapContract}
 }
 
 // ByName resolves a comma-separated analyzer list ("hotpath,hygiene").
@@ -164,62 +185,105 @@ func hotpathAnnotated(doc *ast.CommentGroup) bool {
 	return false
 }
 
-// suppressionSet records, per file, which lines and line ranges have
-// active lightvet:ignore directives.
-type suppressionSet struct {
-	// lines[file][line] holds analyzer names suppressed at that line
-	// (the sentinel "*" suppresses all analyzers).
-	lines map[string]map[int][]string
+// directive is one parsed lightvet:ignore comment, tracked individually
+// so the UnusedIgnores audit can tell which suppressions still earn
+// their keep.
+type directive struct {
+	pos   token.Position // the comment's own position
+	names []string       // nil suppresses every analyzer
+	used  bool           // set when the directive suppressed a finding
+	// or stopped propagation
 }
 
-func (s *suppressionSet) add(file string, line int, names []string) {
-	if s.lines == nil {
-		s.lines = map[string]map[int][]string{}
+// covers reports whether the directive suppresses the named analyzer.
+func (d *directive) covers(analyzer string) bool {
+	if d.names == nil {
+		return true
 	}
-	fl := s.lines[file]
-	if fl == nil {
-		fl = map[int][]string{}
-		s.lines[file] = fl
-	}
-	if names == nil {
-		names = []string{"*"}
-	}
-	fl[line] = append(fl[line], names...)
-}
-
-func (s *suppressionSet) matches(f Finding) bool {
-	fl := s.lines[f.Pos.Filename]
-	if fl == nil {
-		return false
-	}
-	for _, name := range fl[f.Pos.Line] {
-		if name == "*" || name == f.Analyzer {
+	for _, n := range d.names {
+		if n == "*" || n == analyzer {
 			return true
 		}
 	}
 	return false
 }
 
-// suppressions gathers every lightvet:ignore directive in the module. A
-// directive covers its own line and the following line (so it works both
-// trailing an offending expression and on its own line above one). A
-// directive in a function's doc comment covers the function's whole
-// body.
+// label renders the directive's analyzer list for audit messages.
+func (d *directive) label() string {
+	if d.names == nil {
+		return "(all analyzers)"
+	}
+	return strings.Join(d.names, " ")
+}
+
+// suppressionSet records, per file, which lines have active
+// lightvet:ignore directives, keeping the identity of each directive so
+// usage can be audited.
+type suppressionSet struct {
+	// lines[file][line] holds the directives covering that line.
+	lines map[string]map[int][]*directive
+	// byPos[file][line] holds the directives declared at that line
+	// (their own comment position), for the function-scope lookup.
+	byPos map[string]map[int][]*directive
+	// order lists every directive once, in module source order.
+	order []*directive
+}
+
+func (s *suppressionSet) cover(d *directive, file string, line int) {
+	if s.lines == nil {
+		s.lines = map[string]map[int][]*directive{}
+	}
+	fl := s.lines[file]
+	if fl == nil {
+		fl = map[int][]*directive{}
+		s.lines[file] = fl
+	}
+	fl[line] = append(fl[line], d)
+}
+
+func (s *suppressionSet) declare(d *directive) {
+	if s.byPos == nil {
+		s.byPos = map[string]map[int][]*directive{}
+	}
+	fl := s.byPos[d.pos.Filename]
+	if fl == nil {
+		fl = map[int][]*directive{}
+		s.byPos[d.pos.Filename] = fl
+	}
+	fl[d.pos.Line] = append(fl[d.pos.Line], d)
+	s.order = append(s.order, d)
+}
+
+// matches reports whether the finding is suppressed, marking every
+// directive that covers it as used.
+func (s *suppressionSet) matches(f Finding) bool {
+	hit := false
+	for _, d := range s.lines[f.Pos.Filename][f.Pos.Line] {
+		if d.covers(f.Analyzer) {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// suppressions gathers every lightvet:ignore directive in the module,
+// building the set once and caching it so usage marks accumulate across
+// Lint and FuncIgnores calls. A directive covers its own line and the
+// following line (so it works both trailing an offending expression and
+// on its own line above one). A directive in a function's doc comment
+// covers the function's whole body.
 func (m *Module) suppressions() *suppressionSet {
+	if m.sup != nil {
+		return m.sup
+	}
 	s := &suppressionSet{}
 	for _, pkg := range m.Packages {
 		for _, file := range pkg.Files {
-			for _, cg := range file.Comments {
-				for _, c := range cg.List {
-					names, ok := ignoreDirective(c.Text)
-					if !ok {
-						continue
-					}
-					pos := pkg.Fset.Position(c.Pos())
-					s.add(pos.Filename, pos.Line, names)
-					s.add(pos.Filename, pos.Line+1, names)
-				}
-			}
+			// Doc-comment directives get function-wide coverage; note
+			// their comment positions so the loop below does not
+			// double-register them with line-local coverage.
+			funcScoped := map[token.Pos]bool{}
 			for _, decl := range file.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
 				if !ok || fd.Doc == nil || fd.Body == nil {
@@ -230,41 +294,87 @@ func (m *Module) suppressions() *suppressionSet {
 					if !ok {
 						continue
 					}
+					d := &directive{pos: pkg.Fset.Position(c.Pos()), names: names}
+					s.declare(d)
+					funcScoped[c.Pos()] = true
 					start := pkg.Fset.Position(fd.Pos()).Line
 					end := pkg.Fset.Position(fd.End()).Line
 					fname := pkg.Fset.Position(fd.Pos()).Filename
 					for line := start; line <= end; line++ {
-						s.add(fname, line, names)
+						s.cover(d, fname, line)
 					}
+				}
+			}
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					names, ok := ignoreDirective(c.Text)
+					if !ok || funcScoped[c.Pos()] {
+						continue
+					}
+					d := &directive{pos: pkg.Fset.Position(c.Pos()), names: names}
+					s.declare(d)
+					s.cover(d, d.pos.Filename, d.pos.Line)
+					s.cover(d, d.pos.Filename, d.pos.Line+1)
 				}
 			}
 		}
 	}
+	m.sup = s
 	return s
 }
 
-// funcIgnores reports whether the function's doc comment suppresses the
-// named analyzer for the entire declaration (used by hotpath to stop
-// propagation into acknowledged-cold callees).
-func funcIgnores(fd *ast.FuncDecl, analyzer string) bool {
+// FuncIgnores reports whether the function's doc comment suppresses the
+// named analyzer for the entire declaration (used by the
+// call-graph-based analyzers to stop propagation into acknowledged
+// functions). The matching directive is marked used for the
+// UnusedIgnores audit.
+func (m *Module) FuncIgnores(fd *ast.FuncDecl, analyzer string) bool {
 	if fd.Doc == nil {
 		return false
 	}
+	s := m.suppressions()
+	hit := false
 	for _, c := range fd.Doc.List {
-		names, ok := ignoreDirective(c.Text)
-		if !ok {
+		if _, ok := ignoreDirective(c.Text); !ok {
 			continue
 		}
-		if names == nil {
-			return true
-		}
-		for _, n := range names {
-			if n == "*" || n == analyzer {
-				return true
+		pos := m.Fset.Position(c.Pos())
+		for _, d := range s.byPos[pos.Filename][pos.Line] {
+			if d.covers(analyzer) {
+				d.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// UnusedIgnores runs the analyzers (marking every suppression they
+// trip) and returns a finding, under the synthetic analyzer name
+// "unusedignore", for each lightvet:ignore directive that suppressed
+// nothing. Run it with the full suite: a directive naming an analyzer
+// that did not run would otherwise be reported stale.
+func (m *Module) UnusedIgnores(analyzers []*Analyzer) []Finding {
+	m.Lint(analyzers)
+	var out []Finding
+	for _, d := range m.suppressions().order {
+		if d.used {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "unusedignore",
+			Pos:      d.pos,
+			Message:  fmt.Sprintf("lightvet:ignore %s suppresses nothing; remove the stale directive", d.label()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
 }
 
 // finding is a small helper building a Finding at a node's position.

@@ -14,15 +14,22 @@ import (
 // fixturePkgs lists every fixture package under testdata/src. Each
 // analyzer has a violation fixture (findings expected on every line
 // carrying a "// want <analyzer>" marker) and a clean fixture (no
-// findings allowed). All eight are loaded as one fixture module so the
+// findings allowed). All are loaded as one fixture module so the
 // full suite cross-checks: an analyzer firing on another analyzer's
-// fixture is reported as an unexpected finding.
+// fixture is reported as an unexpected finding. Order matters for
+// packages with module-internal imports: dependencies first.
 var fixturePkgs = []string{
 	"hotpath_bad", "hotpath_clean",
 	"supervise", // stub dependency; must precede its importers
 	"concurrency_bad", "concurrency_clean",
 	"indexsafety_bad", "indexsafety_clean",
 	"hygiene_bad", "hygiene_clean",
+	"hygiene_main_bad", "hygiene_main_clean",
+	"statflow_bad", // must precede statflow_caller
+	"statflow_clean", "statflow_caller",
+	"cancelpoll_bad", "cancelpoll_clean",
+	"capcontract_bad", "capcontract_clean",
+	"callgraph",
 }
 
 var (

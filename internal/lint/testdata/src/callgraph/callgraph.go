@@ -1,0 +1,81 @@
+// Package cg exercises the call-graph builder: static calls, method
+// values, function references, conservative interface dispatch, and
+// direct and mutual recursion. The callgraph tests assert exact edges
+// over this package; it must stay finding-free for every analyzer.
+package cg
+
+// Shape is the dispatch interface.
+type Shape interface {
+	// Area reports the shape's area.
+	Area() int
+}
+
+// Square implements Shape by value.
+type Square struct {
+	// N is the side length.
+	N int
+}
+
+// Area returns N squared.
+func (s Square) Area() int { return s.N * s.N }
+
+// Disc implements Shape by value.
+type Disc struct {
+	// R is the radius.
+	R int
+}
+
+// Area returns a rough disc area.
+func (d Disc) Area() int { return 3 * d.R * d.R }
+
+// Total sums areas through the interface: the builder must emit
+// conservative dispatch candidates to every implementing module
+// method.
+func Total(shapes []Shape) int {
+	n := 0
+	for _, s := range shapes {
+		n += s.Area()
+	}
+	return n
+}
+
+// Pick returns a bound method value without calling it.
+func Pick(s Square) func() int {
+	return s.Area
+}
+
+// Apply invokes a function value (dynamic: no edge to double from
+// here).
+func Apply(f func(int) int, v int) int {
+	return f(v)
+}
+
+// Use passes a top-level function reference into Apply.
+func Use(v int) int {
+	return Apply(double, v)
+}
+
+func double(v int) int { return v + v }
+
+// Fact is directly recursive.
+func Fact(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n * Fact(n-1)
+}
+
+// IsEven is mutually recursive with isOdd.
+func IsEven(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return isOdd(n - 1)
+}
+
+func isOdd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return IsEven(n - 1)
+}

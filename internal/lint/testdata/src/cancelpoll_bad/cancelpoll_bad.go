@@ -1,0 +1,56 @@
+// Package cp holds cancelpoll violation fixtures: data-dependent loops
+// reachable from Count/Enumerate whose iteration paths can bypass the
+// cancellation poll. The shapes mirror PR 4's tail-batch starvation
+// bug, where the poll was keyed to a counter residue the batch
+// increments stepped over.
+package cp
+
+// engine is a miniature of the real enumerator's polling state.
+type engine struct {
+	nodes    uint64
+	deadline int64
+	clock    func() int64
+}
+
+// checkDeadline is the polling primitive, matched by name like the
+// real engine's.
+func (e *engine) checkDeadline() bool {
+	return e.clock() < e.deadline
+}
+
+// Count is an enumeration entry point whose inner loop polls only on a
+// counter residue: a batch increment that steps over the residue
+// starves cancellation for the rest of the input.
+func Count(candidates []uint64) uint64 {
+	e := &engine{clock: func() int64 { return 0 }, deadline: 1}
+	return e.run(candidates)
+}
+
+func (e *engine) run(candidates []uint64) uint64 {
+	for _, v := range candidates { // want cancelpoll
+		if e.nodes&8191 == 0 {
+			if !e.checkDeadline() {
+				return e.nodes
+			}
+		}
+		e.nodes += v
+	}
+	return e.nodes
+}
+
+// Enumerate rejects filtered roots before ever reaching the poll: the
+// continue path completes iterations unpolled, so a filter rejecting
+// everything never observes cancellation.
+func Enumerate(roots []uint64, filter func(uint64) bool) uint64 {
+	e := &engine{clock: func() int64 { return 0 }, deadline: 1}
+	for _, r := range roots { // want cancelpoll
+		if !filter(r) {
+			continue
+		}
+		if !e.checkDeadline() {
+			break
+		}
+		e.nodes += r
+	}
+	return e.nodes
+}

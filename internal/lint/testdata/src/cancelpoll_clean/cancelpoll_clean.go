@@ -1,0 +1,98 @@
+// Package cp holds cancelpoll-clean shapes: polls hoisted so every
+// iteration path reaches one, plus each of the analyzer's deliberate
+// scope exclusions (constant-bounded loops, pure kernels that cannot
+// poll, loops unreachable from the entry points, and select-based
+// polling).
+package cp
+
+import "context"
+
+// engine is a miniature of the real enumerator's polling state.
+type engine struct {
+	nodes    uint64
+	deadline int64
+	clock    func() int64
+}
+
+// checkDeadline is the polling primitive, matched by name like the
+// real engine's.
+func (e *engine) checkDeadline() bool {
+	return e.clock() < e.deadline
+}
+
+// Count polls at the top of the loop body, so the filter-reject
+// continue and the fall-through both pass the poll; the second loop is
+// a pure kernel that cannot reach a poll and is out of scope.
+func Count(candidates []uint64, filter func(uint64) bool) uint64 {
+	e := &engine{clock: func() int64 { return 0 }, deadline: 1}
+	for _, v := range candidates {
+		if !e.checkDeadline() {
+			break
+		}
+		if !filter(v) {
+			continue
+		}
+		e.nodes += v
+	}
+	var sum uint64
+	for _, v := range candidates {
+		sum += v
+	}
+	return e.nodes + sum
+}
+
+// CountContext polls through the context instead of an engine
+// deadline.
+func CountContext(ctx context.Context, items []int) int {
+	n := 0
+	for _, v := range items {
+		if ctx.Err() != nil {
+			return n
+		}
+		n += v
+	}
+	return n
+}
+
+// Enumerate shows the constant-bound exclusion: the unwind loop may
+// poll conditionally because its trip count — and therefore the
+// cancellation latency — is a compile-time constant.
+func Enumerate(e *engine) uint64 {
+	for i := 0; i < 64; i++ {
+		if i == 32 && !e.checkDeadline() {
+			break
+		}
+		e.nodes++
+	}
+	return e.nodes
+}
+
+// EnumerateContext polls through a select; every path through the
+// select evaluates ctx.Done(), including the default clause.
+func EnumerateContext(ctx context.Context, items []int) int {
+	n := 0
+	for _, v := range items {
+		select {
+		case <-ctx.Done():
+			return n
+		default:
+		}
+		n += v
+	}
+	return n
+}
+
+// prepare is not reachable from any entry point, so its
+// conditionally-polling loop is outside the contract.
+func prepare(e *engine, xs []int) {
+	for _, x := range xs {
+		if x > 0 {
+			continue
+		}
+		if !e.checkDeadline() {
+			return
+		}
+	}
+}
+
+var _ = prepare

@@ -1,0 +1,21 @@
+// Package cc holds capcontract violation fixtures: unguarded writes
+// into caller-supplied slices. Single is the pre-fix MultiWay shape
+// from PR 5, whose copy silently truncated when the destination was
+// shorter than the source.
+package cc
+
+// Single intersects a single set into dst — and truncates silently
+// when cap is short, because nothing checks or documents the contract.
+func Single(dst, s []uint32) int {
+	return copy(dst, s) // want capcontract
+}
+
+// Extend exposes the destination's spare capacity to writes without a
+// guard.
+func Extend(dst []uint32) []uint32 {
+	dst = dst[:cap(dst)] // want capcontract
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
+}

@@ -1,0 +1,16 @@
+// Command hygmain exercises the command-main buffered-writer rule:
+// fmt.Fprint* into a *bufio.Writer loses write errors unless either
+// the call's error or the final Flush error is checked.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+func main() {
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "n=%d\n", 1) // want hygiene
+	w.Flush()                   // want hygiene
+}

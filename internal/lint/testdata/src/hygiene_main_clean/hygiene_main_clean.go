@@ -1,0 +1,29 @@
+// Command hygmain shows the sanctioned command-main output forms:
+// checked buffered writes, direct writes to the standard streams, and
+// interface-typed writers whose concrete sink is the caller's concern.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	w := bufio.NewWriter(os.Stdout)
+	if _, err := fmt.Fprintf(w, "n=%d\n", 1); err != nil {
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "done")
+	emit(os.Stdout, 2)
+}
+
+// emit writes through an interface; the fmt exemption applies because
+// the concrete sink is unknown here.
+func emit(out io.Writer, n int) {
+	fmt.Fprintln(out, n)
+}

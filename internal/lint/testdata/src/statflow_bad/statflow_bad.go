@@ -1,0 +1,82 @@
+// Package intersect (fixture) holds statflow violation fixtures: every
+// way of dropping the *Stats counter sink on a counting path. The
+// package is named intersect because statflow scopes its Stats type
+// discovery to intersect-named packages, mirroring the real kernels.
+package intersect
+
+// Stats mirrors the real kernel counter block.
+type Stats struct {
+	Intersections uint64
+	Elements      uint64
+}
+
+// Pair is an instrumented entry point; it delegates to helpers that
+// mishandle the sink in the ways statflow flags.
+func Pair(a, b []uint32, stats *Stats) int {
+	n := dropped(a, b, stats)
+	n += shadowed(a, b, stats)
+	n += reassigned(a, b, stats)
+	n += nilPassed(a, b, stats)
+	return n
+}
+
+// dropped declares parity but never records: rule 3.
+func dropped(a, b []uint32, stats *Stats) int { // want statflow
+	return len(a) + len(b)
+}
+
+// shadowed re-declares stats in a nested block, sending the counts
+// recorded there to the shadow instead of the caller's sink.
+func shadowed(a, b []uint32, stats *Stats) int {
+	if stats != nil {
+		stats := &Stats{} // want statflow
+		stats.Elements++
+	}
+	return len(a) + len(b)
+}
+
+// reassigned overwrites the caller's sink mid-function.
+func reassigned(a, b []uint32, stats *Stats) int {
+	if stats != nil {
+		stats.Intersections++
+	}
+	stats = nil // want statflow
+	_ = stats
+	return len(a) + len(b)
+}
+
+// nilPassed has a live sink in scope and drops it at the call site.
+func nilPassed(a, b []uint32, stats *Stats) int {
+	if stats != nil {
+		stats.Intersections++
+	}
+	return counted(a, b, nil) // want statflow
+}
+
+// counted is a correctly instrumented helper.
+func counted(a, b []uint32, stats *Stats) int {
+	if stats != nil {
+		stats.Intersections++
+	}
+	return len(a) + len(b)
+}
+
+// Count is the pre-instrumentation kernel shape from PR 5's bug: an
+// exported, count-returning kernel with no *Stats parameter at all.
+// The finding lands on cross-package call sites (see statflow_caller).
+func Count(a, b []uint32, delta int) int {
+	n := 0
+	for i, j := 0, 0; i < len(a) && j < len(b); {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i += delta
+		default:
+			j += delta
+		}
+	}
+	return n
+}

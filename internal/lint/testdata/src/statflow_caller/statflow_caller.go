@@ -1,0 +1,19 @@
+// Package caller exercises statflow's cross-package rule: calling an
+// exported, count-returning intersect kernel that has no *Stats
+// parameter makes the intersections on that path invisible to run
+// accounting — the exact pre-fix shape of the PR 5 counter bug.
+package caller
+
+import isect "fixture/statflow_bad"
+
+// Triangles counts through the uninstrumented kernel.
+func Triangles(a, b []uint32) int {
+	return isect.Count(a, b, 1) // want statflow
+}
+
+// Probe calls a properly instrumented kernel with a nil sink from a
+// function with no sink in scope: the sanctioned uninstrumented-probe
+// pattern, not a finding.
+func Probe(a, b []uint32) int {
+	return isect.Pair(a, b, nil)
+}

@@ -1,0 +1,54 @@
+// Package intersect (fixture) holds statflow-clean shapes: correctly
+// threaded sinks, the sanctioned nil-probe pattern, and kernels whose
+// signatures put them outside the counting contract.
+package intersect
+
+// Stats mirrors the real kernel counter block.
+type Stats struct {
+	Intersections uint64
+	Elements      uint64
+}
+
+// Pair threads its sink into the helper chain.
+func Pair(a, b []uint32, stats *Stats) int {
+	return galloping(a, b, stats)
+}
+
+// galloping records through the threaded sink.
+func galloping(a, b []uint32, stats *Stats) int {
+	if stats != nil {
+		stats.Intersections++
+		stats.Elements += uint64(len(a) + len(b))
+	}
+	n := 0
+	for i, j := 0, 0; i < len(a) && j < len(b); {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// Probe has no sink in scope; passing nil is the documented
+// uninstrumented-probe pattern and is not a finding.
+func Probe(a, b []uint32) int {
+	return Pair(a, b, nil)
+}
+
+// Contains is exported and stats-less but is not a counting kernel (one
+// slice parameter, boolean result), so calling it stays clean.
+func Contains(s []uint32, v uint32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

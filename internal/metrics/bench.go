@@ -69,7 +69,7 @@ type BenchReport struct {
 // host info and the deterministic fingerprint are filled in, the rows
 // are taken as measured.
 func NewBenchReport(experiment string, config map[string]string, rows []BenchRow) *BenchReport {
-	hostname, _ := os.Hostname() //lightvet:ignore hygiene -- hostname is optional context; empty on error is fine
+	hostname, _ := os.Hostname() // optional context; empty on error is fine
 	r := &BenchReport{
 		Schema:      BenchSchema,
 		Experiment:  experiment,

@@ -79,9 +79,8 @@ func (l *ledger) beginChunk(lo, hi int64) unitID {
 
 // beginFrame registers a donated frame under the unit that donated it
 // (0 for frames seeded from a loaded checkpoint, whose covering work
-// is already committed).
-//
-//lightvet:ignore hotpath -- ledger bookkeeping runs once per donation, not per node
+// is already committed). Only dynamic hook plumbing reaches it, so it
+// carries no hotpath obligation to suppress.
 func (l *ledger) beginFrame(parent unitID, f *engine.Frame) unitID {
 	if l == nil {
 		return 0
