@@ -1,8 +1,10 @@
 // Command lightbench is the deterministic smoke-benchmark suite behind
 // scripts/bench_gate.sh: P2/P4/P6 on a seeded synthetic graph, serial
 // and 4-thread, plus a hub-bitmap kernel section (HybridBlock vs
-// HybridBitmap on a seeded star-chords graph), written as a
-// schema-versioned BENCH_smoke.json report.
+// HybridBitmap on a seeded star-chords graph) and a governor-overhead
+// section (the same cell ungoverned and under an uncontended Governor,
+// gated on counter parity), written as a schema-versioned
+// BENCH_smoke.json report.
 //
 // The work counters in the report (matches, nodes, comps,
 // intersections, galloping, elements) depend only on (graph, plan,
@@ -126,11 +128,87 @@ func runSuite() (*metrics.BenchReport, error) {
 		return nil, err
 	}
 	rows = append(rows, bitmapRows...)
+	govRows, err := runGovernorSection(g)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, govRows...)
 	return metrics.NewBenchReport("smoke", map[string]string{
 		"dataset":        benchDataset,
 		"scale":          fmt.Sprint(benchScale),
 		"bitmap_dataset": fmt.Sprintf("%s(%d,%d,%d)", bitmapDataset, bitmapLeaves, bitmapChords, bitmapSeed),
+		"governor":       fmt.Sprintf("slots=%d pattern=%s", govSlots, govPattern),
 	}, rows), nil
+}
+
+// The governor section's configuration: one pattern from the main
+// suite, 4 workers, an uncontended 4-slot governor — the pure-overhead
+// case, where admission must grant the full request immediately and
+// perturb no work counter.
+const (
+	govPattern = "P4"
+	govSlots   = 4
+)
+
+// runGovernorSection measures the resource governor's overhead on the
+// main suite graph: the same (pattern, 4T) cell ungoverned and under an
+// uncontended default Governor. The work counters must be identical —
+// admission control sits entirely outside the enumeration loop — and
+// the governed run must report a full grant, so a regression that
+// sneaks governor bookkeeping into the hot path or quietly under-admits
+// trips the exact-equality gate. The wall-clock delta is advisory.
+func runGovernorSection(g *light.Graph) ([]metrics.BenchRow, error) {
+	p, err := light.PatternByName(govPattern)
+	if err != nil {
+		return nil, err
+	}
+	bare, err := runKernelCell(g, p, benchDataset, light.HybridBlock, govSlots)
+	if err != nil {
+		return nil, fmt.Errorf("governor section ungoverned: %w", err)
+	}
+	bare.System = "LIGHT-gov/off"
+
+	gov := light.NewGovernor(light.GovernorConfig{Slots: govSlots})
+	res, err := light.Count(g, p, light.Options{
+		Workers:      govSlots,
+		Intersection: light.HybridBlock,
+		Governor:     gov,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("governor section governed: %w", err)
+	}
+	r := res.Report
+	governed := metrics.BenchRow{
+		Dataset:       benchDataset,
+		Pattern:       p.Name(),
+		System:        "LIGHT-gov/on",
+		WallNS:        r.WallNS,
+		Matches:       r.Matches,
+		Nodes:         r.Nodes,
+		Comps:         r.Comps,
+		Intersections: r.Intersections,
+		Galloping:     r.Galloping,
+		Elements:      r.Elements,
+		BitmapProbes:  r.BitmapProbes,
+		Slots:         r.SlotsGranted,
+		MemoryBytes:   r.CandidateMemoryBytes,
+	}
+
+	if governed.Matches != bare.Matches || governed.Nodes != bare.Nodes ||
+		governed.Comps != bare.Comps || governed.Intersections != bare.Intersections ||
+		governed.Galloping != bare.Galloping || governed.Elements != bare.Elements {
+		return nil, fmt.Errorf("governor section: counter parity failed: ungoverned %+v vs governed %+v", bare, governed)
+	}
+	if governed.Slots != govSlots {
+		return nil, fmt.Errorf("governor section: uncontended governor granted %d slots, want %d", governed.Slots, govSlots)
+	}
+	if len(r.DegradationEvents) != 0 {
+		return nil, fmt.Errorf("governor section: unpressured run degraded: %v", r.DegradationEvents)
+	}
+	fmt.Printf("governor section %s: ungoverned %v, governed %v (%.1f%% overhead, advisory)\n",
+		govPattern, time.Duration(bare.WallNS), time.Duration(governed.WallNS),
+		100*(float64(governed.WallNS)/float64(bare.WallNS)-1))
+	return []metrics.BenchRow{bare, governed}, nil
 }
 
 // runBitmapSection benchmarks the hub-bitmap kernel against its list

@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -51,6 +52,8 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "periodically save resumable progress to this file")
 	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second, "how often to write the checkpoint")
 	resumePath := flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
+	memBudget := flag.String("mem-budget", "", "cap candidate-arena memory (bytes, or with K/M/G suffix); degrades gracefully, exits 5 when exceeded")
+	admitTimeout := flag.Duration("admission-timeout", 0, "fail fast (exit 4) if a worker slot is not granted within this long (runs under a process governor)")
 	flag.Parse()
 
 	g, err := loadGraph(*graphArg, *scale)
@@ -67,12 +70,24 @@ func main() {
 		CheckpointPath:     *ckptPath,
 		CheckpointInterval: *ckptEvery,
 		ResumeFrom:         *resumePath,
+		AdmissionTimeout:   *admitTimeout,
 	}
 	if opts.Algorithm, err = parseAlgo(*algoName); err != nil {
 		fatal(err)
 	}
 	if opts.Intersection, err = parseKernel(*kernel); err != nil {
 		fatal(err)
+	}
+	if *memBudget != "" {
+		if opts.MemoryBudget, err = parseBytes(*memBudget); err != nil {
+			fatal(fmt.Errorf("-mem-budget: %w", err))
+		}
+	}
+	if *admitTimeout > 0 {
+		// A single-process CLI run still goes through a (private)
+		// governor so the admission path, slot accounting, and watchdog
+		// behave exactly as they would under a shared daemon.
+		opts.Governor = light.NewGovernor(light.GovernorConfig{})
 	}
 
 	fmt.Printf("data graph: %v\npattern:    %v\n", g, p)
@@ -133,8 +148,24 @@ func main() {
 	}
 	stopSignals()
 	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
-	if err != nil && !interrupted {
-		fatal(err)
+	// Resource sentinels keep their partial results and get distinct
+	// exit codes + one-line stderr diagnostics (with the resume hint),
+	// so wrappers and schedulers can react without parsing stdout.
+	exitCode := 0
+	switch {
+	case errors.Is(err, light.ErrTimeLimit):
+		exitCode = exitTimeLimit
+		fmt.Fprintf(os.Stderr, "lightenum: time limit exceeded; partial results on stdout%s\n", resumeHint(*ckptPath))
+	case errors.Is(err, light.ErrOverloaded):
+		exitCode = exitOverloaded
+		fmt.Fprintf(os.Stderr, "lightenum: overloaded: no worker slot within %v; retry later%s\n", *admitTimeout, resumeHint(*ckptPath))
+	case errors.Is(err, light.ErrMemoryBudget):
+		exitCode = exitMemoryBudget
+		fmt.Fprintf(os.Stderr, "lightenum: memory budget %s exceeded; partial results on stdout%s\n", *memBudget, resumeHint(*ckptPath))
+	default:
+		if err != nil && !interrupted {
+			fatal(err)
+		}
 	}
 	if out != nil {
 		if err := commitOut(); err != nil {
@@ -159,6 +190,46 @@ func main() {
 		}
 		fmt.Printf("run report:\n%s\n", data)
 	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
+	}
+}
+
+// Exit codes beyond the conventional 0 (success), 1 (generic error),
+// and 2 (flag misuse): each resource sentinel gets its own so callers
+// can distinguish "ran out of time" from "shed by admission control"
+// from "blew the memory budget" without parsing output.
+const (
+	exitTimeLimit    = 3
+	exitOverloaded   = 4
+	exitMemoryBudget = 5
+)
+
+// resumeHint names the checkpoint to resume from, when there is one.
+func resumeHint(ckptPath string) string {
+	if ckptPath == "" {
+		return ""
+	}
+	return fmt.Sprintf("; resume with -resume %s", ckptPath)
+}
+
+// parseBytes parses a byte count with an optional K/M/G (binary)
+// suffix: "512", "64K", "512M", "2G".
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte count %q", s)
+	}
+	return n * mult, nil
 }
 
 // atomicWriter opens a buffered writer backed by a temp file next to

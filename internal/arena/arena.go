@@ -24,16 +24,27 @@ type Arena struct {
 	slab  int   // slab currently being carved
 	off   int   // next free element in slabs[slab]
 	bytes int64 // total slab footprint
+	lim   *Limiter
 }
 
-// New returns an empty arena.
+// New returns an empty arena with an unlimited budget.
 func New() *Arena { return &Arena{} }
+
+// NewBudgeted returns an empty arena whose slab growth is accounted
+// against lim: under soft pressure (Limiter.Tight) slabs shrink to the
+// exact requested size, and when a reservation is denied Alloc returns
+// nil — the caller's signal to hard-stop with a memory-budget error. A
+// nil limiter is an unlimited budget, identical to New.
+func NewBudgeted(lim *Limiter) *Arena { return &Arena{lim: lim} }
 
 // Alloc returns a full-capacity slice of n vertex ids carved from the
 // current slab. Contents are unspecified (previous-frame data may
 // remain); callers treat the buffer as write-before-read scratch. The
 // returned slice has its capacity clipped to n, so appends past it can
 // never bleed into a neighboring allocation.
+//
+// On a budgeted arena (NewBudgeted) Alloc returns nil for n > 0 when
+// the limiter denies the slab reservation; unbudgeted arenas never do.
 //
 //light:hotpath
 func (a *Arena) Alloc(n int) []graph.VertexID {
@@ -62,7 +73,23 @@ func (a *Arena) Alloc(n int) []graph.VertexID {
 func (a *Arena) grow(n int) []graph.VertexID {
 	size := n
 	if size < chunkElems {
-		size = chunkElems
+		if a.lim.Tight() {
+			// Soft pressure: stop rounding requests up to the chunk
+			// size, trading slab slack for staying under the budget.
+			a.lim.noteTight()
+		} else {
+			size = chunkElems
+		}
+	}
+	if !a.lim.Reserve(int64(size) * 4) {
+		// A rounded slab did not fit; retry at exactly the requested
+		// size before giving up — the last step down the ladder short
+		// of a hard stop.
+		if size == n || !a.lim.Reserve(int64(n)*4) {
+			return nil
+		}
+		size = n
+		a.lim.noteTight()
 	}
 	s := make([]graph.VertexID, size)
 	a.slabs = append(a.slabs, s)
@@ -70,6 +97,25 @@ func (a *Arena) grow(n int) []graph.VertexID {
 	a.off = n
 	a.bytes += int64(size) * 4
 	return s[0:n:n]
+}
+
+// EstimateBytes predicts the slab footprint an arena reaches after
+// `allocs` allocations of `each` elements — the engine's worst case is
+// one candidate buffer per pattern vertex plus one scratch buffer,
+// each d_max elements. tight selects the exact-size growth mode the
+// arena switches to under budget pressure. The prediction replays the
+// grow logic, so the admission layer can size worker budgets without
+// allocating anything.
+func EstimateBytes(allocs, each int, tight bool) int64 {
+	if allocs <= 0 || each <= 0 {
+		return 0
+	}
+	if tight || each >= chunkElems {
+		return int64(allocs) * int64(each) * 4
+	}
+	perSlab := chunkElems / each
+	slabs := (allocs + perSlab - 1) / perSlab
+	return int64(slabs) * int64(chunkElems) * 4
 }
 
 // Reset rewinds the arena so the next Alloc reuses the first slab.

@@ -1,0 +1,164 @@
+package arena
+
+import "sync/atomic"
+
+// tightNum/tightDen set the soft-pressure threshold: once a limiter in
+// the chain is more than 3/4 full, arenas stop rounding slab requests
+// up to the chunk size and allocate exactly what was asked for — the
+// first rung of the memory-degradation ladder ("shrink per-worker
+// arenas"), traded before any allocation is denied outright.
+const (
+	tightNum = 3
+	tightDen = 4
+)
+
+// Limiter is a byte budget shared by one or more arenas. Reservations
+// are accounted against this limiter and, transitively, against its
+// parent — so a per-run limiter can nest under a process-wide one (the
+// admission Governor's) and both ceilings hold at once. All methods
+// are safe for concurrent use and valid on a nil receiver (a nil
+// *Limiter is an unlimited budget that records nothing).
+type Limiter struct {
+	limit  int64 // 0 = no ceiling at this level (parent may still cap)
+	parent *Limiter
+
+	used       atomic.Int64
+	denials    atomic.Uint64
+	tightGrows atomic.Uint64
+}
+
+// NewLimiter returns a limiter with the given byte ceiling chained
+// under parent. A non-positive limit means "no ceiling at this level";
+// if there is also no parent the budget is unlimited and NewLimiter
+// returns nil, which every method accepts.
+func NewLimiter(limit int64, parent *Limiter) *Limiter {
+	if limit <= 0 {
+		if parent == nil {
+			return nil
+		}
+		limit = 0
+	}
+	return &Limiter{limit: limit, parent: parent}
+}
+
+// Reserve accounts n bytes against the limiter and its parents,
+// failing without side effects when any ceiling in the chain would be
+// exceeded. A nil receiver always succeeds.
+func (l *Limiter) Reserve(n int64) bool {
+	if l == nil || n <= 0 {
+		return true
+	}
+	for {
+		u := l.used.Load()
+		if l.limit > 0 && u+n > l.limit {
+			l.denials.Add(1)
+			return false
+		}
+		if l.used.CompareAndSwap(u, u+n) {
+			break
+		}
+	}
+	if l.parent != nil && !l.parent.Reserve(n) {
+		l.used.Add(-n)
+		l.denials.Add(1)
+		return false
+	}
+	return true
+}
+
+// Release returns n bytes to the limiter and its parents.
+func (l *Limiter) Release(n int64) {
+	if l == nil || n <= 0 {
+		return
+	}
+	l.used.Add(-n)
+	if l.parent != nil {
+		l.parent.Release(n)
+	}
+}
+
+// ReleaseAll returns every byte this limiter holds to its parents and
+// zeroes its own accounting — the run-teardown path, where all arenas
+// charged to the limiter die together.
+func (l *Limiter) ReleaseAll() {
+	if l == nil {
+		return
+	}
+	u := l.used.Swap(0)
+	if u > 0 && l.parent != nil {
+		l.parent.Release(u)
+	}
+}
+
+// Tight reports whether any limiter in the chain is past the
+// soft-pressure threshold (3/4 full), signalling arenas to stop
+// rounding slab requests up. False on a nil receiver.
+func (l *Limiter) Tight() bool {
+	for ; l != nil; l = l.parent {
+		if l.limit > 0 && l.used.Load()*tightDen >= l.limit*tightNum {
+			return true
+		}
+	}
+	return false
+}
+
+// noteTight records one exact-size (unrounded) slab grow — the
+// observable trace of the first degradation rung.
+func (l *Limiter) noteTight() {
+	if l != nil {
+		l.tightGrows.Add(1)
+	}
+}
+
+// Used returns the bytes currently reserved at this level.
+func (l *Limiter) Used() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.used.Load()
+}
+
+// Limit returns this level's ceiling (0 = none).
+func (l *Limiter) Limit() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.limit
+}
+
+// Headroom returns the tightest remaining budget across the chain, or
+// a negative value when the budget is unlimited end to end.
+func (l *Limiter) Headroom() int64 {
+	head := int64(-1)
+	for ; l != nil; l = l.parent {
+		if l.limit <= 0 {
+			continue
+		}
+		h := l.limit - l.used.Load()
+		if h < 0 {
+			h = 0
+		}
+		if head < 0 || h < head {
+			head = h
+		}
+	}
+	return head
+}
+
+// Denials returns how many reservations the limiter refused.
+func (l *Limiter) Denials() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.denials.Load()
+}
+
+// TightGrows returns how many slab grows were forced to exact size by
+// budget pressure — nonzero means the arena-shrink degradation rung
+// engaged.
+func (l *Limiter) TightGrows() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.tightGrows.Load()
+}

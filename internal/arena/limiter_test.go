@@ -1,0 +1,183 @@
+package arena
+
+import "testing"
+
+func TestLimiterNilUnlimited(t *testing.T) {
+	var l *Limiter
+	if l != NewLimiter(0, nil) {
+		t.Fatalf("NewLimiter(0, nil) should be nil")
+	}
+	if !l.Reserve(1 << 40) {
+		t.Fatalf("nil limiter denied a reservation")
+	}
+	l.Release(1 << 40)
+	l.ReleaseAll()
+	if l.Tight() || l.Used() != 0 || l.Limit() != 0 || l.Denials() != 0 || l.TightGrows() != 0 {
+		t.Fatalf("nil limiter reported state")
+	}
+	if l.Headroom() >= 0 {
+		t.Fatalf("nil limiter headroom = %d, want negative (unlimited)", l.Headroom())
+	}
+}
+
+func TestLimiterReserveDeny(t *testing.T) {
+	l := NewLimiter(100, nil)
+	if !l.Reserve(60) || !l.Reserve(40) {
+		t.Fatalf("reservations within limit denied")
+	}
+	if l.Reserve(1) {
+		t.Fatalf("reservation past limit granted")
+	}
+	if got := l.Denials(); got != 1 {
+		t.Fatalf("Denials = %d, want 1", got)
+	}
+	if got := l.Used(); got != 100 {
+		t.Fatalf("Used = %d, want 100", got)
+	}
+	l.Release(50)
+	if !l.Reserve(50) {
+		t.Fatalf("reservation after release denied")
+	}
+}
+
+func TestLimiterParentRollback(t *testing.T) {
+	parent := NewLimiter(100, nil)
+	child := NewLimiter(1000, parent)
+	if !child.Reserve(80) {
+		t.Fatalf("first reservation denied")
+	}
+	// Child has room, parent does not: must fail and roll back the
+	// child's accounting.
+	if child.Reserve(30) {
+		t.Fatalf("reservation granted past parent limit")
+	}
+	if got := child.Used(); got != 80 {
+		t.Fatalf("child Used = %d after rollback, want 80", got)
+	}
+	if got := parent.Used(); got != 80 {
+		t.Fatalf("parent Used = %d after rollback, want 80", got)
+	}
+	child.ReleaseAll()
+	if parent.Used() != 0 || child.Used() != 0 {
+		t.Fatalf("ReleaseAll left used = parent %d child %d", parent.Used(), child.Used())
+	}
+}
+
+func TestLimiterTightThreshold(t *testing.T) {
+	l := NewLimiter(100, nil)
+	l.Reserve(74)
+	if l.Tight() {
+		t.Fatalf("tight below 3/4")
+	}
+	l.Reserve(1)
+	if !l.Tight() {
+		t.Fatalf("not tight at 3/4")
+	}
+	// Tightness propagates from any level of the chain.
+	child := NewLimiter(0, l)
+	if !child.Tight() {
+		t.Fatalf("child not tight while parent is")
+	}
+}
+
+func TestLimiterHeadroom(t *testing.T) {
+	parent := NewLimiter(100, nil)
+	child := NewLimiter(50, parent)
+	parent.Reserve(80)
+	if got := child.Headroom(); got != 20 {
+		t.Fatalf("Headroom = %d, want 20 (parent is tighter)", got)
+	}
+	if !child.Reserve(15) {
+		t.Fatalf("reservation within both ceilings denied")
+	}
+	if got := child.Headroom(); got != 5 {
+		t.Fatalf("Headroom = %d, want 5 (parent has 5 left)", got)
+	}
+}
+
+// TestBudgetedArenaDegrades walks the first rung of the degradation
+// ladder: past the tight threshold, grow stops rounding requests up to
+// chunkElems and the exact-size slab is observable via TightGrows.
+func TestBudgetedArenaDegrades(t *testing.T) {
+	// Budget fits exactly one full chunk slab plus a little; after the
+	// first grow the limiter is > 3/4 full, so the next grow must be
+	// exact-size.
+	budget := int64(chunkElems)*4 + 1024
+	lim := NewLimiter(budget, nil)
+	a := NewBudgeted(lim)
+	if b := a.Alloc(16); len(b) != 16 {
+		t.Fatalf("first Alloc failed under ample budget")
+	}
+	if lim.Used() != int64(chunkElems)*4 {
+		t.Fatalf("first slab not rounded to chunk: used %d", lim.Used())
+	}
+	// Fill the first slab, then force a grow: with the limiter past 3/4
+	// the new slab must be exact-size (800 B fits the 1 KiB remnant; a
+	// rounded 256 KiB slab would not).
+	if b := a.Alloc(chunkElems - 16); len(b) != chunkElems-16 {
+		t.Fatalf("slab-filling Alloc failed")
+	}
+	if b := a.Alloc(200); len(b) != 200 {
+		t.Fatalf("tight-mode Alloc failed: %v", b)
+	}
+	if got := lim.TightGrows(); got == 0 {
+		t.Fatalf("TightGrows = 0, want > 0 after tight-mode grow")
+	}
+}
+
+// TestBudgetedArenaDenies is the hard stop: an exhausted budget makes
+// Alloc return nil rather than allocate past the ceiling.
+func TestBudgetedArenaDenies(t *testing.T) {
+	lim := NewLimiter(64*4, nil)
+	a := NewBudgeted(lim)
+	if b := a.Alloc(64); len(b) != 64 {
+		t.Fatalf("Alloc within budget failed")
+	}
+	if b := a.Alloc(64); b != nil {
+		t.Fatalf("Alloc past budget returned %d elems, want nil", len(b))
+	}
+	if lim.Denials() == 0 {
+		t.Fatalf("denial not recorded")
+	}
+	// The arena remains usable for allocations that fit what's left.
+	a.Reset()
+	if b := a.Alloc(32); len(b) != 32 {
+		t.Fatalf("Alloc after Reset failed")
+	}
+}
+
+func TestEstimateBytes(t *testing.T) {
+	cases := []struct {
+		allocs, each int
+		tight        bool
+	}{
+		{allocs: 5, each: 100, tight: false},
+		{allocs: 5, each: 100, tight: true},
+		{allocs: 3000, each: 50, tight: false},
+		{allocs: 2, each: chunkElems + 1, tight: false},
+		{allocs: 7, each: chunkElems / 2, tight: false},
+	}
+	for _, c := range cases {
+		var lim *Limiter
+		if c.tight {
+			// A limiter held at 3/4 of a huge ceiling keeps Tight() true
+			// for every grow while leaving ample headroom to reserve.
+			lim = NewLimiter(1<<40, nil)
+			lim.Reserve((1 << 40) * 3 / 4)
+		}
+		a := NewBudgeted(lim)
+		for i := 0; i < c.allocs; i++ {
+			if b := a.Alloc(c.each); b == nil {
+				t.Fatalf("%+v: Alloc %d denied", c, i)
+			}
+		}
+		want := a.Bytes()
+		if got := EstimateBytes(c.allocs, c.each, c.tight); got != want {
+			t.Errorf("EstimateBytes(%d, %d, %v) = %d, actual arena bytes %d",
+				c.allocs, c.each, c.tight, got, want)
+		}
+	}
+	if got := EstimateBytes(0, 10, false); got != 0 {
+		t.Errorf("EstimateBytes(0, 10) = %d, want 0", got)
+	}
+}

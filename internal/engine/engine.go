@@ -28,6 +28,13 @@ import (
 // paper's OOT outcome).
 var ErrTimeLimit = errors.New("engine: time limit exceeded")
 
+// ErrMemoryBudget is returned when a budgeted arena (admission memory
+// governance) denies a candidate-buffer allocation: the run has
+// exhausted every degradation rung and must hard-stop. The unwind path
+// is the same as ErrTimeLimit, so partial results and checkpoint
+// frames remain valid.
+var ErrMemoryBudget = errors.New("engine: memory budget exceeded")
+
 // VisitFunc receives each match: mapping[u] is the data vertex assigned
 // to pattern vertex u. The slice is reused between calls; copy it to
 // retain. Return false to stop the enumeration early.
@@ -144,6 +151,12 @@ type Enumerator struct {
 	// aborts the run with Stopped=true and no error. The parallel
 	// scheduler uses it to propagate early termination across workers.
 	Stop *atomic.Bool
+
+	// Progress, when non-nil, is incremented at the deadline-poll
+	// cadence (every 8192 σ steps) — a cheap per-worker heartbeat the
+	// stall watchdog samples to tell a slow-but-advancing worker from a
+	// wedged one.
+	Progress *atomic.Uint64
 
 	assigned []graph.VertexID // per pattern vertex, valid when materialized
 	matMask  uint32           // bitmask of materialized pattern vertices
@@ -395,6 +408,12 @@ func (e *Enumerator) Resume(f *Frame, visit VisitFunc) (Result, error) {
 			continue
 		}
 		b := e.buf(u)
+		if b == nil && e.dmax > 0 {
+			// Budget denied the resume buffers: fail rather than
+			// silently truncate the frame's candidate sets to nothing.
+			e.err = ErrMemoryBudget
+			return e.finish()
+		}
 		m := copy(b[:cap(b)], f.Cands[u])
 		e.cand[u] = b[:m]
 	}
@@ -447,7 +466,9 @@ func (e *Enumerator) step(i int) bool {
 	op := e.pl.Sigma[i]
 	if op.Mode == plan.Comp {
 		if !e.compute(op.Vertex) {
-			return true // empty candidate set: prune this branch
+			// Empty candidate set prunes this branch; a compute error
+			// (memory budget denial) unwinds the whole search.
+			return e.err == nil
 		}
 		return e.step(i + 1)
 	}
@@ -471,6 +492,12 @@ func (e *Enumerator) compute(u int) bool {
 		return len(e.cand[u]) > 0
 	}
 	dst := e.buf(u)
+	scr := e.scratchBuf()
+	if (dst == nil || scr == nil) && e.dmax > 0 {
+		// A budgeted arena denied the carve: hard memory-budget stop.
+		e.err = ErrMemoryBudget
+		return false
+	}
 	sets := e.setsTmp[:0]
 	if e.useBitmaps {
 		// Bitmap-probe path: collect the hub bitmap (or nil) of every K1
@@ -487,7 +514,7 @@ func (e *Enumerator) compute(u int) bool {
 			sets = append(sets, e.cand[w])
 			bms = append(bms, nil)
 		}
-		n := intersect.MultiWayBitmap(dst, e.scratchBuf(), sets, bms, e.opts.Kernel, e.opts.Delta, &e.result.Stats)
+		n := intersect.MultiWayBitmap(dst, scr, sets, bms, e.opts.Kernel, e.opts.Delta, &e.result.Stats)
 		e.cand[u] = dst[:n]
 		return n > 0
 	}
@@ -497,7 +524,7 @@ func (e *Enumerator) compute(u int) bool {
 	for _, w := range ops.K2 {
 		sets = append(sets, e.cand[w])
 	}
-	n := intersect.MultiWay(dst, e.scratchBuf(), sets, e.opts.Kernel, e.opts.Delta, &e.result.Stats)
+	n := intersect.MultiWay(dst, scr, sets, e.opts.Kernel, e.opts.Delta, &e.result.Stats)
 	e.cand[u] = dst[:n]
 	return n > 0
 }
@@ -670,6 +697,9 @@ func (e *Enumerator) checkDeadline() bool {
 		return true
 	}
 	e.polls++
+	if e.Progress != nil {
+		e.Progress.Add(1)
+	}
 	if e.Stop != nil && e.Stop.Load() {
 		e.result.Stopped = true
 		return false

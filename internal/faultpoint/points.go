@@ -24,4 +24,16 @@ const (
 	PointCheckpointWrite = "supervise.checkpoint.write"
 	// PointCSRRead fires at the start of binary CSR deserialization.
 	PointCSRRead = "graph.csr.read"
+	// PointSlotGrant fires at the top of Governor.Admit, before any
+	// slot bookkeeping.
+	PointSlotGrant = "admission.slot.grant"
+	// PointSlotReturn fires inside Admission.TryShed just before a
+	// surplus slot is handed back; an injected error skips that shed.
+	PointSlotReturn = "admission.slot.return"
+	// PointBudgetCheck fires when the admission layer sizes a run's
+	// worker pool against the memory budget headroom.
+	PointBudgetCheck = "admission.budget.check"
+	// PointWatchdogFire fires when the stall watchdog is about to
+	// record a stall diagnostic; an injected error suppresses it.
+	PointWatchdogFire = "admission.watchdog.fire"
 )

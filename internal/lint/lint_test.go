@@ -28,6 +28,7 @@ var fixturePkgs = []string{
 	"statflow_bad", // must precede statflow_caller
 	"statflow_clean", "statflow_caller",
 	"cancelpoll_bad", "cancelpoll_clean",
+	"admission_bad", "admission_clean",
 	"capcontract_bad", "capcontract_clean",
 	"callgraph",
 }

@@ -1,0 +1,59 @@
+// Package adm holds admission-themed cancelpoll violations: slot-wait
+// loops reachable from the enumeration entry points whose cancellation
+// poll is keyed to a counter residue or skipped by a fast-path
+// continue, so a query waiting for admission can outlive its context.
+package adm
+
+import "context"
+
+// governor is a miniature of the admission governor's slot state.
+type governor struct {
+	free    int
+	waiters int
+}
+
+// tryGrant models the opportunistic fast-path grant.
+func (g *governor) tryGrant() bool {
+	if g.free > 0 && g.waiters == 0 {
+		g.free--
+		return true
+	}
+	return false
+}
+
+// Count models admission as a spin-wait that polls its context only on
+// a residue of the spin counter: a grant race that bumps the counter
+// past the residue starves cancellation until the slot frees.
+func Count(ctx context.Context, g *governor, spins []int) int {
+	waited := 0
+	for range spins { // want cancelpoll
+		if waited&1023 == 0 {
+			if ctx.Err() != nil {
+				return -1
+			}
+		}
+		if g.tryGrant() {
+			break
+		}
+		waited += 2
+	}
+	return waited
+}
+
+// Enumerate models the shed path: iterations that return a surplus
+// slot continue before ever reaching the poll, so a run that sheds on
+// every pass never observes cancellation.
+func Enumerate(ctx context.Context, g *governor, frames []int) int {
+	done := 0
+	for _, f := range frames { // want cancelpoll
+		if g.waiters > 0 && g.free == 0 {
+			g.waiters--
+			continue
+		}
+		if ctx.Err() != nil {
+			return done
+		}
+		done += f
+	}
+	return done
+}

@@ -1,0 +1,58 @@
+// Package adm holds admission-themed cancelpoll-clean shapes: the
+// slot-wait loops from admission_bad with their polls hoisted so every
+// iteration path — fast-path grant, shed continue, and fall-through —
+// passes a cancellation check first.
+package adm
+
+import "context"
+
+// governor is a miniature of the admission governor's slot state.
+type governor struct {
+	free    int
+	waiters int
+}
+
+// tryGrant models the opportunistic fast-path grant.
+func (g *governor) tryGrant() bool {
+	if g.free > 0 && g.waiters == 0 {
+		g.free--
+		return true
+	}
+	return false
+}
+
+// Count polls unconditionally at the top of the spin, so no grant race
+// or residue arithmetic can step past the check.
+func Count(ctx context.Context, g *governor, spins []int) int {
+	waited := 0
+	for range spins {
+		if ctx.Err() != nil {
+			return -1
+		}
+		if g.tryGrant() {
+			break
+		}
+		waited += 2
+	}
+	return waited
+}
+
+// EnumerateContext waits on the real primitive shape: a select whose
+// every path evaluates ctx.Done(), including the default clause the
+// shed fast path takes.
+func EnumerateContext(ctx context.Context, g *governor, frames []int) int {
+	done := 0
+	for _, f := range frames {
+		select {
+		case <-ctx.Done():
+			return done
+		default:
+		}
+		if g.waiters > 0 && g.free == 0 {
+			g.waiters--
+			continue
+		}
+		done += f
+	}
+	return done
+}

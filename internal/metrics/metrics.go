@@ -78,6 +78,22 @@ const (
 	// ArenaBytes accumulates the slab footprint of the per-worker
 	// candidate arenas (the Table V memory metric for the arena path).
 	ArenaBytes
+	// AdmissionWaitNanos is how long the run waited for its guaranteed
+	// worker slot under a shared Governor.
+	AdmissionWaitNanos
+	// AdmissionSlotsGranted is the worker-slot count held at admission.
+	AdmissionSlotsGranted
+	// AdmissionSlotsShed counts slots returned early to waiting queries
+	// (the worker-shedding degradation rung).
+	AdmissionSlotsShed
+	// GovernorDegradations counts degradation events of any kind
+	// (arena tight mode, worker shedding, reduced admission).
+	GovernorDegradations
+	// CheckpointRetries counts checkpoint writes that succeeded only
+	// after retry-with-backoff.
+	CheckpointRetries
+	// WatchdogStalls counts stall-watchdog firings.
+	WatchdogStalls
 	// NumIDs is the registry size; not a counter.
 	NumIDs
 )
@@ -109,6 +125,12 @@ var idNames = [NumIDs]string{
 	CheckpointWriteNanos:   "checkpoint.write_ns",
 	CheckpointWriteErrors:  "checkpoint.write_errors",
 	ArenaBytes:             "arena.bytes",
+	AdmissionWaitNanos:     "admission.wait_ns",
+	AdmissionSlotsGranted:  "admission.slots_granted",
+	AdmissionSlotsShed:     "admission.slots_shed",
+	GovernorDegradations:   "governor.degradations",
+	CheckpointRetries:      "checkpoint.retries",
+	WatchdogStalls:         "watchdog.stalls",
 }
 
 // cacheLine is the assumed cache-line size; each counter occupies one

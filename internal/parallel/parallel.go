@@ -27,11 +27,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"light/internal/admission"
 	"light/internal/arena"
 	"light/internal/engine"
 	"light/internal/faultpoint"
@@ -77,6 +79,14 @@ type CheckpointOptions struct {
 	// of the interval, a final checkpoint is written when the run ends,
 	// whether it completed, errored, or was cancelled.
 	Interval time.Duration
+	// MaxRetries is how many times a failed checkpoint write is retried
+	// with jittered exponential backoff before the error is surfaced
+	// (default 3; negative disables retries). Transient filesystem
+	// errors then no longer cost a long run its checkpoint.
+	MaxRetries int
+	// RetryBackoff is the base backoff before the first retry, doubled
+	// per attempt with ±50% jitter (default 5ms).
+	RetryBackoff time.Duration
 }
 
 // Options configure a parallel run.
@@ -111,6 +121,22 @@ type Options struct {
 	// queue waits, busy time, checkpoint write latency). It overrides
 	// Engine.Metrics so every worker folds into the same recorder.
 	Metrics *metrics.Recorder
+	// Gate, when non-nil, is this run's admission under a shared
+	// Governor: workers check it at scheduling boundaries (between
+	// chunks and frames, and while parked on the queue) and retire when
+	// a surplus slot is shed to a waiting query. Requires WorkStealing
+	// or RootChunk.
+	Gate *admission.Admission
+	// MemLimiter, when non-nil, budgets every worker's candidate arena;
+	// a denied slab grow hard-stops the run with engine.ErrMemoryBudget
+	// (still writing a valid final checkpoint when configured).
+	MemLimiter *arena.Limiter
+	// Watchdog, when non-nil, starts a stall watchdog that samples
+	// per-worker progress heartbeats every Interval and, after Patience
+	// intervals without progress from a busy worker, records a
+	// diagnostic dump (Result.StallDump) and optionally cancels the run
+	// with admission.ErrStalled.
+	Watchdog *admission.WatchdogConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -149,6 +175,16 @@ type Result struct {
 	// CheckpointWriteTotal is their cumulative latency.
 	CheckpointWrites     uint64
 	CheckpointWriteTotal time.Duration
+	// CheckpointRetries counts failed checkpoint writes that were
+	// retried (the jittered-backoff path).
+	CheckpointRetries uint64
+	// SlotsShed counts workers retired early because the admission
+	// governor handed their slot to a waiting query.
+	SlotsShed uint64
+	// Stalls counts stall-watchdog firings; StallDump is the first
+	// stall's diagnostic (per-worker progress table + full stack dump).
+	Stalls    uint64
+	StallDump string
 }
 
 // Run enumerates pl over g with opts.Workers workers and returns the
@@ -198,12 +234,24 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 	opts.Engine.Metrics = rec
 
 	p := &pool{
-		g:     g,
-		pl:    pl,
-		opts:  opts,
-		visit: visit,
+		g:      g,
+		pl:     pl,
+		opts:   opts,
+		visit:  visit,
+		alive:  opts.Workers,
+		beats:  make([]atomic.Uint64, opts.Workers),
+		epochs: make([]atomic.Uint64, opts.Workers),
 	}
 	p.cond = sync.NewCond(&p.mu)
+	if opts.Gate != nil {
+		if opts.Scheduler == StaticPartition {
+			return Result{}, errors.New("parallel: StaticPartition cannot run under an admission gate; use WorkStealing or RootChunk")
+		}
+		// Wake parked workers when the governor's queue goes non-empty,
+		// so surplus slots are shed promptly instead of at the next
+		// scheduling event.
+		opts.Gate.SetNotify(p.wakeAll)
+	}
 
 	var base engine.Result
 	var priorDone []supervise.RootRange
@@ -309,7 +357,24 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 		})
 	}
 
+	var wdWG sync.WaitGroup
+	var wdStop chan struct{}
+	if opts.Watchdog != nil && opts.Watchdog.Interval > 0 {
+		wdStop = make(chan struct{})
+		supervise.Go(&wdWG, "stall watchdog", func(err error) {
+			// A watchdog panic must never take the run down; the pool
+			// simply loses stall coverage.
+			_ = err
+		}, func() {
+			p.watchdog(opts.Watchdog, wdStop)
+		})
+	}
+
 	wg.Wait()
+	if wdStop != nil {
+		close(wdStop)
+		wdWG.Wait()
+	}
 	if ckStop != nil {
 		close(ckStop)
 		ckWG.Wait()
@@ -343,6 +408,9 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 			err = joinErrors([]error{err, werr})
 		}
 	}
+	if err == nil && out.Stopped && p.stallCancelled.Load() {
+		err = admission.ErrStalled
+	}
 	if err == nil && out.Stopped && ctx != nil && ctx.Err() != nil {
 		err = ctx.Err()
 	}
@@ -354,6 +422,12 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 	out.QueueWaitTotal = time.Duration(p.qWaitNS.Load())
 	out.CheckpointWrites = p.ckWrites.Load()
 	out.CheckpointWriteTotal = time.Duration(p.ckWriteNS.Load())
+	out.CheckpointRetries = p.ckRetries.Load()
+	out.SlotsShed = p.shed.Load()
+	out.Stalls = p.stalls.Load()
+	p.mu.Lock()
+	out.StallDump = p.stallDump
+	p.mu.Unlock()
 	rec.Add(metrics.ParallelDonations, out.Donations)
 	rec.Add(metrics.ParallelSteals, out.Steals)
 	rec.Add(metrics.ParallelRootChunks, out.RootChunksDispensed)
@@ -362,6 +436,9 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 	rec.Add(metrics.CheckpointWrites, out.CheckpointWrites)
 	rec.Add(metrics.CheckpointWriteNanos, p.ckWriteNS.Load())
 	rec.Add(metrics.CheckpointWriteErrors, p.ckWriteErrs.Load())
+	rec.Add(metrics.CheckpointRetries, out.CheckpointRetries)
+	rec.Add(metrics.AdmissionSlotsShed, out.SlotsShed)
+	rec.Add(metrics.WatchdogStalls, out.Stalls)
 	base.AddTo(rec)
 	return out, err
 }
@@ -405,6 +482,7 @@ type queuedFrame struct {
 // and the worker's accumulated busy time (owned by one goroutine, no
 // synchronization needed).
 type workerState struct {
+	idx  int
 	unit unitID
 	busy time.Duration
 }
@@ -424,6 +502,7 @@ type pool struct {
 	cond     *sync.Cond
 	queue    []queuedFrame
 	idle     int
+	alive    int // workers not yet retired by slot shedding (mu-guarded)
 	finished bool
 	stop     atomic.Bool
 	hungry   atomic.Int32 // idle workers wanting tasks (donation trigger)
@@ -431,6 +510,19 @@ type pool struct {
 
 	donations atomic.Uint64
 	steals    atomic.Uint64
+
+	// Stall-watchdog state: beats is the engine's deadline-poll
+	// heartbeat, epochs goes odd when a worker enters RunRoots/Resume
+	// and even when it returns — a worker whose epoch is odd and whose
+	// beat stops moving is wedged, not merely between work items.
+	beats  []atomic.Uint64
+	epochs []atomic.Uint64
+	// stallDump (mu-guarded) keeps the first stall's diagnostic.
+	stallDump      string
+	stallCancelled atomic.Bool
+	stalls         atomic.Uint64
+	shed           atomic.Uint64
+	ckRetries      atomic.Uint64
 
 	// Scheduler-event counters folded into the run's metrics recorder
 	// (and the Result) once, at the end of RunContext.
@@ -448,11 +540,14 @@ func (p *pool) worker(idx int) (engine.Result, int64, time.Duration, error) {
 	if err := faultpoint.Hit(faultpoint.PointWorkerStart); err != nil {
 		return engine.Result{}, 0, 0, fmt.Errorf("parallel: worker %d start: %w", idx, err)
 	}
+	// Per-worker: arenas must never be shared across goroutines. Under a
+	// memory budget each worker's arena charges the shared limiter.
 	eopts := p.opts.Engine
-	eopts.Arena = arena.New() // per-worker: arenas must never be shared across goroutines
+	eopts.Arena = arena.NewBudgeted(p.opts.MemLimiter)
 	e := engine.New(p.g, p.pl, eopts)
 	e.Stop = &p.stop
-	ws := &workerState{}
+	e.Progress = &p.beats[idx]
+	ws := &workerState{idx: idx}
 	if p.opts.Scheduler == WorkStealing {
 		e.Hook = p.makeHook(ws)
 	}
@@ -486,6 +581,13 @@ func (p *pool) worker(idx int) (engine.Result, int64, time.Duration, error) {
 func (p *pool) runLoop(e *engine.Enumerator, ws *workerState) (engine.Result, error) {
 	var acc engine.Result
 	for {
+		// Elastic slot return: between work items, hand a surplus slot
+		// to a query waiting on the shared governor and retire this
+		// worker (a single atomic load when no one is waiting).
+		if p.opts.Gate.TryShed() {
+			p.retire()
+			return acc, nil
+		}
 		// Phase 1: claim a root chunk.
 		if lo := p.cursor.Add(int64(p.opts.ChunkSize)) - int64(p.opts.ChunkSize); lo < int64(len(p.roots)) {
 			hi := lo + int64(p.opts.ChunkSize)
@@ -495,7 +597,9 @@ func (p *pool) runLoop(e *engine.Enumerator, ws *workerState) (engine.Result, er
 			p.chunks.Add(1)
 			ws.unit = p.led.beginChunk(lo, hi)
 			t0 := time.Now()
+			p.epochs[ws.idx].Add(1)
 			res, err := e.RunRoots(p.roots[lo:hi], p.visit)
+			p.epochs[ws.idx].Add(1)
 			ws.busy += time.Since(t0)
 			acc.Add(res)
 			if err != nil || res.Stopped {
@@ -519,7 +623,9 @@ func (p *pool) runLoop(e *engine.Enumerator, ws *workerState) (engine.Result, er
 		p.steals.Add(1)
 		ws.unit = qf.unit
 		t0 := time.Now()
+		p.epochs[ws.idx].Add(1)
 		res, err := e.Resume(qf.f, p.visit)
+		p.epochs[ws.idx].Add(1)
 		ws.busy += time.Since(t0)
 		acc.Add(res)
 		if err != nil || res.Stopped {
@@ -529,6 +635,17 @@ func (p *pool) runLoop(e *engine.Enumerator, ws *workerState) (engine.Result, er
 		}
 		p.led.finish(qf.unit, res)
 	}
+}
+
+// retire removes a worker from the pool's accounting after its slot
+// was shed to another query. The idle==alive termination equality is
+// re-broadcast so parked peers re-evaluate it.
+func (p *pool) retire() {
+	p.shed.Add(1)
+	p.mu.Lock()
+	p.alive--
+	p.cond.Broadcast()
+	p.mu.Unlock()
 }
 
 // makeHook builds the sender-initiated donation hook: when idle workers
@@ -579,13 +696,26 @@ func (p *pool) takeFrame() (queuedFrame, bool) {
 			p.noteWait(waitStart)
 			return qf, true
 		}
-		if p.finished || p.stop.Load() || p.idle == p.opts.Workers {
-			// Termination: all workers idle and nothing queued. Latch the
-			// state and wake the rest so they observe it too.
+		if p.finished || p.stop.Load() || p.idle == p.alive {
+			// Termination: all live workers idle and nothing queued.
+			// Latch the state and wake the rest so they observe it too.
 			p.finished = true
 			p.cond.Broadcast()
 			p.idle--
 			p.hungry.Add(-1)
+			p.noteWait(waitStart)
+			return queuedFrame{}, false
+		}
+		// A parked worker is the cheapest one to retire: hand its slot
+		// to a waiting query. idle and alive drop together, so the
+		// termination equality for the remaining workers is unchanged.
+		// Lock order is p.mu → governor mu, here and everywhere.
+		if p.opts.Gate.TryShed() {
+			p.shed.Add(1)
+			p.idle--
+			p.alive--
+			p.hungry.Add(-1)
+			p.cond.Broadcast()
 			p.noteWait(waitStart)
 			return queuedFrame{}, false
 		}
@@ -619,16 +749,39 @@ func (p *pool) writeCheckpoint(complete bool) error {
 	return ck.Save(p.opts.Checkpoint.Path)
 }
 
-// timedCheckpoint wraps writeCheckpoint with write-latency accounting.
-// A panicking write skips the accounting — the supervising Call converts
-// it to an error above this frame.
+// timedCheckpoint wraps writeCheckpoint with write-latency accounting
+// and retry-with-jittered-backoff: a transient filesystem error costs
+// a few milliseconds, not the run's checkpoint. A panicking write skips
+// the accounting — the supervising Call converts it to an error above
+// this frame (and is not retried: a panic is a bug, not a transient).
 func (p *pool) timedCheckpoint(complete bool) error {
-	t0 := time.Now()
-	err := p.writeCheckpoint(complete)
-	p.ckWrites.Add(1)
-	p.ckWriteNS.Add(uint64(time.Since(t0)))
-	if err != nil {
-		p.ckWriteErrs.Add(1)
+	retries := 3
+	if c := p.opts.Checkpoint; c != nil && c.MaxRetries != 0 {
+		retries = c.MaxRetries
+		if retries < 0 {
+			retries = 0
+		}
 	}
-	return err
+	backoff := 5 * time.Millisecond
+	if c := p.opts.Checkpoint; c != nil && c.RetryBackoff > 0 {
+		backoff = c.RetryBackoff
+	}
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		err := p.writeCheckpoint(complete)
+		p.ckWrites.Add(1)
+		p.ckWriteNS.Add(uint64(time.Since(t0)))
+		if err == nil {
+			return nil
+		}
+		p.ckWriteErrs.Add(1)
+		if attempt >= retries {
+			return err
+		}
+		p.ckRetries.Add(1)
+		// Exponential backoff with ±50% jitter; the cold path may use
+		// math/rand freely.
+		d := backoff << uint(attempt)
+		time.Sleep(d/2 + time.Duration(rand.Int63n(int64(d))))
+	}
 }

@@ -30,8 +30,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"light/internal/admission"
+	"light/internal/arena"
 	"light/internal/engine"
 	"light/internal/estimate"
+	"light/internal/faultpoint"
 	"light/internal/graph"
 	"light/internal/intersect"
 	"light/internal/metrics"
@@ -329,6 +332,23 @@ type Options struct {
 	// an uninterrupted run's. The graph, pattern, and options must
 	// match the checkpointing run (verified by fingerprint).
 	ResumeFrom string
+	// Governor, when non-nil, admits this run through a shared resource
+	// governor: the run waits (FIFO) for a guaranteed worker slot,
+	// takes up to Workers slots opportunistically, returns surplus
+	// slots while other runs wait, and is covered by the governor's
+	// memory budget and stall watchdog. See NewGovernor.
+	Governor *Governor
+	// MemoryBudget caps this run's candidate-arena bytes (0 =
+	// unlimited). Under pressure the run degrades gracefully —
+	// exact-size arena slabs, then fewer workers — before failing with
+	// ErrMemoryBudget; degradations are listed in the RunReport. Nests
+	// under the Governor's shared budget when both are set.
+	MemoryBudget int64
+	// AdmissionTimeout bounds the wait for the guaranteed worker slot
+	// under a Governor: past it the run fails fast with ErrOverloaded.
+	// 0 waits until the context is cancelled. Ignored without a
+	// Governor.
+	AdmissionTimeout time.Duration
 }
 
 // Result reports an enumeration.
@@ -409,6 +429,9 @@ func EnumerateContext(ctx context.Context, g *Graph, p *Pattern, opts Options, v
 }
 
 func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.VisitFunc) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
 	pl, err := preparePlan(g, p, opts)
 	if err != nil {
 		return Result{}, err
@@ -428,9 +451,11 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 	res.Order = make([]int, len(pl.Pi))
 	copy(res.Order, pl.Pi)
 
-	// Checkpointing and resume live in the parallel scheduler's ledger,
-	// so either option routes through it even for a single worker.
-	if opts.Workers > 1 || opts.CheckpointPath != "" || opts.ResumeFrom != "" {
+	// Checkpointing, resume, and resource governance all live in the
+	// parallel scheduler, so any of those options routes through it
+	// even for a single worker.
+	if opts.Workers > 1 || opts.CheckpointPath != "" || opts.ResumeFrom != "" ||
+		opts.Governor != nil || opts.MemoryBudget > 0 {
 		popts := parallel.Options{Engine: eopts, Workers: opts.Workers, Metrics: rec}
 		if opts.CheckpointPath != "" {
 			popts.Checkpoint = &parallel.CheckpointOptions{
@@ -448,10 +473,55 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 		if opts.Workers <= 1 {
 			popts.Workers = 1
 		}
+
+		// Admission: wait for the guaranteed slot, run with what was
+		// granted, and chain the run's memory budget under the
+		// governor's. Degradation events accumulate into the RunReport.
+		var degradations []string
+		var govLim *arena.Limiter
+		if opts.Governor != nil {
+			gov := opts.Governor.g
+			a, aerr := gov.Admit(ctx, popts.Workers, opts.AdmissionTimeout)
+			if aerr != nil {
+				return Result{}, mapErr(aerr)
+			}
+			defer a.Close()
+			popts.Gate = a
+			popts.Watchdog = gov.Watchdog()
+			govLim = gov.MemLimiter()
+			rec.AddDuration(metrics.AdmissionWaitNanos, a.Wait())
+			rec.Add(metrics.AdmissionSlotsGranted, uint64(a.Granted()))
+			if a.Granted() < popts.Workers {
+				degradations = append(degradations, fmt.Sprintf(
+					"admission: granted %d of %d requested workers", a.Granted(), popts.Workers))
+			}
+			popts.Workers = a.Granted()
+		}
+		runLim := arena.NewLimiter(opts.MemoryBudget, govLim)
+		defer runLim.ReleaseAll()
+		popts.MemLimiter = runLim
+		popts.Workers, degradations, err = sizeWorkers(popts.Workers, g, p, runLim, degradations)
+		if err != nil {
+			return Result{}, err
+		}
+
 		pres, err := parallel.RunContext(ctx, g.g, pl, popts, visit)
+		if n := runLim.TightGrows(); n > 0 {
+			degradations = append(degradations, fmt.Sprintf(
+				"memory: %d exact-size arena slab grows under budget pressure", n))
+		}
+		if pres.SlotsShed > 0 {
+			degradations = append(degradations, fmt.Sprintf(
+				"admission: shed %d worker slot(s) to waiting queries", pres.SlotsShed))
+		}
+		if pres.Stalls > 0 {
+			degradations = append(degradations, fmt.Sprintf(
+				"watchdog: %d stall(s) detected", pres.Stalls))
+		}
+		rec.Add(metrics.GovernorDegradations, uint64(len(degradations)))
 		res = fill(res, pres.Result, time.Since(start))
 		res.CandidateMemoryBytes = pres.CandidateMemBytes
-		res.Report = newRunReport(rec, opts, pres.Workers, res.Duration, res.CandidateMemoryBytes, &pres)
+		res.Report = newRunReport(rec, opts, pres.Workers, res.Duration, res.CandidateMemoryBytes, &pres, degradations)
 		return res, mapErr(err)
 	}
 
@@ -470,7 +540,7 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 	res = fill(res, eres, time.Since(start))
 	res.CandidateMemoryBytes = e.CandidateMemoryBytes()
 	rec.Add(metrics.ArenaBytes, uint64(res.CandidateMemoryBytes))
-	res.Report = newRunReport(rec, opts, 1, res.Duration, res.CandidateMemoryBytes, nil)
+	res.Report = newRunReport(rec, opts, 1, res.Duration, res.CandidateMemoryBytes, nil, nil)
 	if verr := visitErr(); verr != nil {
 		err = verr
 	}
@@ -491,10 +561,52 @@ func fill(res Result, er engine.Result, d time.Duration) Result {
 }
 
 func mapErr(err error) error {
-	if errors.Is(err, engine.ErrTimeLimit) {
+	switch {
+	case errors.Is(err, engine.ErrTimeLimit):
 		return ErrTimeLimit
+	case errors.Is(err, engine.ErrMemoryBudget):
+		return ErrMemoryBudget
+	case errors.Is(err, admission.ErrOverloaded):
+		return ErrOverloaded
+	case errors.Is(err, admission.ErrStalled):
+		return ErrStalled
 	}
 	return err
+}
+
+// sizeWorkers walks the memory-degradation ladder before any worker
+// spawns: if the requested pool's predicted arena footprint exceeds the
+// budget headroom even with exact-size (tight) slabs, workers are shed
+// — down to serial — so the run fits; the engine's hard
+// ErrMemoryBudget stop remains as the last resort for predictions the
+// estimate cannot see (the prediction covers per-worker candidate
+// buffers, the dominant term).
+func sizeWorkers(workers int, g *Graph, p *Pattern, lim *arena.Limiter, degradations []string) (int, []string, error) {
+	head := lim.Headroom()
+	if head < 0 {
+		return workers, degradations, nil
+	}
+	if err := faultpoint.Hit(faultpoint.PointBudgetCheck); err != nil {
+		return 0, nil, fmt.Errorf("light: budget check: %w", err)
+	}
+	// Per-worker worst case: one cap-d_max buffer per pattern vertex
+	// plus one scratch buffer.
+	allocs := p.NumVertices() + 1
+	tightEst := arena.EstimateBytes(allocs, g.MaxDegree(), true)
+	if tightEst <= 0 || int64(workers)*tightEst <= head {
+		return workers, degradations, nil
+	}
+	fit := int(head / tightEst)
+	if fit < 1 {
+		fit = 1
+	}
+	if fit < workers {
+		degradations = append(degradations, fmt.Sprintf(
+			"memory: shed workers %d -> %d (predicted %d B/worker, headroom %d B)",
+			workers, fit, tightEst, head))
+		workers = fit
+	}
+	return workers, degradations, nil
 }
 
 // Explain returns a human-readable rendering of the plan the optimizer

@@ -73,6 +73,30 @@ type RunReport struct {
 	CheckpointWriteNS uint64 `json:"checkpoint_write_ns,omitempty"`
 	// CheckpointWriteErrors counts failed checkpoint writes.
 	CheckpointWriteErrors uint64 `json:"checkpoint_write_errors,omitempty"`
+	// CheckpointRetries counts failed checkpoint writes that were
+	// retried with jittered backoff (a retried-then-successful write
+	// increments Retries and Errors but surfaces no error).
+	CheckpointRetries uint64 `json:"checkpoint_retries,omitempty"`
+
+	// AdmissionWaitNS is how long the run waited for its guaranteed
+	// worker slot under a shared Governor, in ns.
+	AdmissionWaitNS uint64 `json:"admission_wait_ns,omitempty"`
+	// SlotsGranted is the worker-slot count held at admission (the
+	// run's initial pool size under a Governor).
+	SlotsGranted uint64 `json:"slots_granted,omitempty"`
+	// SlotsShed counts workers retired early because the governor
+	// handed their slot to a waiting query.
+	SlotsShed uint64 `json:"slots_shed,omitempty"`
+	// WatchdogStalls counts stall-watchdog firings during the run;
+	// StallDump is the first stall's diagnostic (per-worker progress
+	// table plus an all-goroutine stack capture).
+	WatchdogStalls uint64 `json:"watchdog_stalls,omitempty"`
+	StallDump      string `json:"stall_dump,omitempty"`
+	// DegradationEvents lists, in order, every graceful-degradation
+	// step the run took under resource pressure (reduced admission,
+	// exact-size arena slabs, worker shedding, stalls) — empty for an
+	// unpressured run.
+	DegradationEvents []string `json:"degradation_events,omitempty"`
 
 	// CandidateMemoryBytes is the candidate-buffer memory across workers.
 	CandidateMemoryBytes int64 `json:"candidate_memory_bytes"`
@@ -84,7 +108,7 @@ type RunReport struct {
 
 // newRunReport assembles the public report from the run's recorder plus
 // the scheduler extras only the parallel result carries.
-func newRunReport(rec *metrics.Recorder, opts Options, workers int, d time.Duration, memBytes int64, pres *parallel.Result) *RunReport {
+func newRunReport(rec *metrics.Recorder, opts Options, workers int, d time.Duration, memBytes int64, pres *parallel.Result, degradations []string) *RunReport {
 	r := &RunReport{
 		Schema:        RunReportSchema,
 		Algorithm:     opts.Algorithm.String(),
@@ -110,6 +134,13 @@ func newRunReport(rec *metrics.Recorder, opts Options, workers int, d time.Durat
 		CheckpointWrites:      rec.Get(metrics.CheckpointWrites),
 		CheckpointWriteNS:     rec.Get(metrics.CheckpointWriteNanos),
 		CheckpointWriteErrors: rec.Get(metrics.CheckpointWriteErrors),
+		CheckpointRetries:     rec.Get(metrics.CheckpointRetries),
+
+		AdmissionWaitNS:   rec.Get(metrics.AdmissionWaitNanos),
+		SlotsGranted:      rec.Get(metrics.AdmissionSlotsGranted),
+		SlotsShed:         rec.Get(metrics.AdmissionSlotsShed),
+		WatchdogStalls:    rec.Get(metrics.WatchdogStalls),
+		DegradationEvents: degradations,
 
 		CandidateMemoryBytes: memBytes,
 		ArenaBytes:           rec.Get(metrics.ArenaBytes),
@@ -123,6 +154,7 @@ func newRunReport(rec *metrics.Recorder, opts Options, workers int, d time.Durat
 		for i, b := range pres.PerWorkerBusy {
 			r.PerWorkerBusyNS[i] = int64(b)
 		}
+		r.StallDump = pres.StallDump
 	}
 	return r
 }

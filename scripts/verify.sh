@@ -37,13 +37,13 @@ go test -race "${SHORT[@]}" ./internal/lint/...
 echo "==> go test -count=1 -shuffle=on ./..."
 go test -count=1 -shuffle=on "${SHORT[@]}" ./...
 
-echo "==> go test -race (parallel, engine, metrics)"
-go test -race "${SHORT[@]}" ./internal/parallel/... ./internal/engine/... ./internal/metrics/...
+echo "==> go test -race (parallel, engine, metrics, admission incl. soak)"
+go test -race "${SHORT[@]}" ./internal/parallel/... ./internal/engine/... ./internal/metrics/... ./internal/admission/...
 
 echo "==> chaos: go test -race -tags faultinject"
 go build -tags faultinject ./...
 go test -race -tags faultinject "${SHORT[@]}" \
-    ./internal/faultpoint/ ./internal/parallel/ ./internal/supervise/ ./internal/graph/ ./internal/engine/
+    ./internal/faultpoint/ ./internal/parallel/ ./internal/supervise/ ./internal/graph/ ./internal/engine/ ./internal/admission/
 
 echo "==> fuzz smoke: FuzzCSRRoundTrip (10s)"
 go test ./internal/graph/ -run FuzzCSRRoundTrip -fuzz FuzzCSRRoundTrip -fuzztime 10s
