@@ -32,6 +32,29 @@ func TestParseKernel(t *testing.T) {
 	}
 }
 
+func TestParseBytes(t *testing.T) {
+	for s, want := range map[string]int64{
+		"512": 512, "64K": 64 << 10, "2k": 2 << 10,
+		"512M": 512 << 20, "3m": 3 << 20, "2G": 2 << 30, "1g": 1 << 30,
+		"0": 0,
+	} {
+		got, err := parseBytes(s)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v, want %d", s, got, err, want)
+		}
+	}
+	for _, s := range []string{
+		"", "-1", "12X", "1.5G", "K",
+		// Values whose n*mult would wrap int64 must be rejected, not
+		// silently accepted as a wrapped budget.
+		"9223372036854775807G", "9007199254740992G", "9223372036854775808",
+	} {
+		if got, err := parseBytes(s); err == nil {
+			t.Errorf("parseBytes(%q) = %d, want error", s, got)
+		}
+	}
+}
+
 func TestWrapPreservesCounts(t *testing.T) {
 	internal := gen.BarabasiAlbert(150, 4, 1)
 	pub := wrap(internal)

@@ -298,6 +298,77 @@ func TestStallWatchdogObservesWithoutCancel(t *testing.T) {
 	t.Fatalf("no stall degradation event: %v", res.Report.DegradationEvents)
 }
 
+// TestMemoryShedReturnsAdmissionSlots: when the memory-degradation
+// ladder shrinks a governed run's pool below its admission grant, the
+// surplus slots must go back to the governor before any worker spawns.
+// If they stayed held, a query queued on the governor would make every
+// pool worker — including the last — shed its slot and retire with
+// root chunks unclaimed, silently undercounting with a nil error. The
+// churn goroutines keep the governor's wait queue hot for the whole
+// run so the scheduling boundaries actually exercise the shed guard.
+func TestMemoryShedReturnsAdmissionSlots(t *testing.T) {
+	g := GenerateBarabasiAlbert(800, 6, 7)
+	p, err := PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Count(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov := NewGovernor(GovernorConfig{Slots: 4})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := Count(g, p, Options{Workers: 4, Governor: gov})
+				if err != nil {
+					t.Errorf("churn query: %v", err)
+					return
+				}
+				if res.Matches != ref.Matches {
+					t.Errorf("churn query count %d, want %d", res.Matches, ref.Matches)
+					return
+				}
+			}
+		}()
+	}
+	// A budget funding roughly one worker: the run is granted up to 4
+	// slots but spawns fewer, so the surplus must be released.
+	perWorker := int64(p.NumVertices()+1) * int64(g.MaxDegree()) * 4
+	shed := false
+	for i := 0; i < 3; i++ {
+		res, err := Count(g, p, Options{Workers: 4, Governor: gov, MemoryBudget: perWorker + perWorker/2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matches != ref.Matches {
+			t.Fatalf("governed run under memory shed: count %d, want %d", res.Matches, ref.Matches)
+		}
+		for _, ev := range res.Report.DegradationEvents {
+			if strings.Contains(ev, "shed workers") {
+				shed = true
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if !shed {
+		t.Fatalf("budget never shed workers; the test did not exercise the grant-surplus path")
+	}
+	if gov.ActiveQueries() != 0 {
+		t.Fatalf("ActiveQueries = %d after all runs", gov.ActiveQueries())
+	}
+}
+
 // TestGovernorElasticSlotReturn: a wide run under a contended governor
 // sheds surplus slots to a second query instead of keeping them parked
 // — both finish exactly, and the shed is observable.

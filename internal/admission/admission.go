@@ -388,6 +388,30 @@ func (a *Admission) shedSlow() bool {
 	return true
 }
 
+// ReleaseTo returns surplus slots to the governor so the admission
+// holds at most n (never below the guaranteed one). Callers that
+// decide — e.g. on the memory-degradation ladder — to run fewer
+// workers than admission granted must call this before the pool
+// spawns: the shed protocol's last-worker guard (held > 1) is only
+// sound while held slots == live workers, so slots with no worker
+// behind them would both starve waiting queries and let every pool
+// worker, including the last, TryShed and retire with work still
+// queued. Safe on nil; a no-op when already at or below n.
+func (a *Admission) ReleaseTo(n int) {
+	if a == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	a.g.mu.Lock()
+	defer a.g.mu.Unlock()
+	for !a.closed && a.held > n {
+		a.held--
+		a.g.releaseSlotLocked()
+	}
+}
+
 // Shed returns how many slots this admission has returned early.
 func (a *Admission) Shed() int {
 	if a == nil {

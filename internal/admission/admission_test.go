@@ -199,6 +199,66 @@ func TestTryShed(t *testing.T) {
 	a.Close()
 }
 
+// TestReleaseTo: a run that decides to use fewer workers than admission
+// granted (the memory-degradation ladder) returns the surplus
+// immediately, restoring the held-slots == live-workers invariant the
+// shed protocol's last-worker guard depends on — with stale surplus
+// slots, every pool worker including the last could shed and retire
+// mid-run.
+func TestReleaseTo(t *testing.T) {
+	g := New(Config{Slots: 4})
+	a, _ := g.Admit(context.Background(), 4, 0)
+	a.ReleaseTo(1)
+	if a.Slots() != 1 || a.Granted() != 4 {
+		t.Fatalf("after ReleaseTo(1): Slots = %d, Granted = %d, want 1 and 4", a.Slots(), a.Granted())
+	}
+	// The returned slots are immediately admittable — no shedding or
+	// Close required.
+	b, err := g.Admit(context.Background(), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Granted() != 3 {
+		t.Fatalf("released slots not granted to the next query: Granted = %d, want 3", b.Granted())
+	}
+	// With the invariant restored, a queued waiter cannot pry away the
+	// last worker's slot.
+	werr := make(chan error, 1)
+	go func() {
+		c, err := g.Admit(context.Background(), 1, 50*time.Millisecond)
+		if c != nil {
+			c.Close()
+		}
+		werr <- err
+	}()
+	waitForQueueLen(t, g, 1)
+	if a.TryShed() {
+		t.Fatalf("TryShed gave away the guaranteed slot after ReleaseTo")
+	}
+	if err := <-werr; !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("waiter err = %v, want ErrOverloaded", err)
+	}
+	// No-ops: at or above held, clamped below the guaranteed slot, nil.
+	a.ReleaseTo(5)
+	if a.Slots() != 1 {
+		t.Fatalf("ReleaseTo above held changed Slots to %d", a.Slots())
+	}
+	b.ReleaseTo(0)
+	if b.Slots() != 1 {
+		t.Fatalf("ReleaseTo(0) dropped below the guaranteed slot: Slots = %d", b.Slots())
+	}
+	(*Admission)(nil).ReleaseTo(1)
+	a.Close()
+	b.Close()
+	a.ReleaseTo(0) // after Close: must not double-release
+	g.mu.Lock()
+	free := g.free
+	g.mu.Unlock()
+	if free != 4 {
+		t.Fatalf("free = %d after both Closes, want 4", free)
+	}
+}
+
 func TestCloseIdempotent(t *testing.T) {
 	g := New(Config{Slots: 3})
 	a, _ := g.Admit(context.Background(), 3, 0)

@@ -779,9 +779,21 @@ func (p *pool) timedCheckpoint(complete bool) error {
 			return err
 		}
 		p.ckRetries.Add(1)
-		// Exponential backoff with ±50% jitter; the cold path may use
-		// math/rand freely.
-		d := backoff << uint(attempt)
+		// Exponential backoff with ±50% jitter, capped so a large
+		// user-configured MaxRetries can never shift the duration into
+		// overflow (a zero or negative d would panic rand.Int63n); the
+		// cold path may use math/rand freely.
+		maxSleep := 2 * time.Second
+		if backoff > maxSleep {
+			maxSleep = backoff
+		}
+		d := backoff
+		for i := 0; i < attempt && d < maxSleep; i++ {
+			d <<= 1
+		}
+		if d > maxSleep {
+			d = maxSleep
+		}
 		time.Sleep(d/2 + time.Duration(rand.Int63n(int64(d))))
 	}
 }

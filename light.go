@@ -504,6 +504,12 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 		if err != nil {
 			return Result{}, err
 		}
+		// If the degradation ladder shrank the pool below the admission
+		// grant, return the surplus slots before any worker spawns: the
+		// governor's shed protocol assumes held slots == live workers,
+		// and holding more would let every worker — including the last —
+		// retire to a waiting query with root chunks still unclaimed.
+		popts.Gate.ReleaseTo(popts.Workers)
 
 		pres, err := parallel.RunContext(ctx, g.g, pl, popts, visit)
 		if n := runLim.TightGrows(); n > 0 {
