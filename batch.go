@@ -1,0 +1,241 @@
+package light
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"light/internal/arena"
+	"light/internal/engine"
+	"light/internal/graph"
+	"light/internal/lanes"
+	"light/internal/metrics"
+)
+
+// BatchQuery is one member of a CountBatch: a pattern plus optional
+// query-specific narrowing. Queries with the same pattern (and batch
+// options) compile to structurally identical plans and are packed into
+// one bit-parallel lane group — the engine walks their shared search
+// tree once, so a batch of overlapping queries costs far less than
+// running them one by one.
+type BatchQuery struct {
+	// Pattern is the pattern to enumerate (required).
+	Pattern *Pattern
+	// Roots, when non-nil, restricts this query to matches whose root
+	// pattern vertex (the first vertex of the chosen enumeration
+	// order) maps into this set of data vertices. IDs are in the
+	// graph's degree-ordered numbering, as returned in results and by
+	// Graph.MapVertex.
+	Roots []VertexID
+	// MinDegree, when positive, restricts this query to matches using
+	// only data vertices of at least this degree — the degree-profile
+	// analytics knob. Equivalent to a sequential run whose Filter
+	// rejects lower-degree vertices, but evaluated bit-parallel across
+	// the whole lane word in one ladder lookup.
+	MinDegree int
+	// Filter, when non-nil, must approve every (pattern vertex, data
+	// vertex) assignment for this query; same contract as
+	// Options.Filter.
+	Filter func(u int, v VertexID) bool
+}
+
+// BatchResult reports a CountBatch run.
+type BatchResult struct {
+	// Queries holds one Result per input query, in order. Counters
+	// (Matches, Nodes, Intersections, and each Report's engine
+	// counters) are exactly what a sequential run of that query alone
+	// would report; Duration and CandidateMemoryBytes describe the
+	// shared batch run and repeat on every entry.
+	Queries []Result
+	// Groups is how many shared traversals (lane groups) the batch
+	// compiled into — batches of one pattern family run in a single
+	// pass.
+	Groups int
+	// Workers is the largest worker pool any group ran with.
+	Workers int
+	// Duration is the whole batch's wall-clock time.
+	Duration time.Duration
+	// Degradations lists graceful-degradation events (reduced
+	// admission, shed workers, arena pressure) for the batch.
+	Degradations []string
+}
+
+// CountBatch evaluates up to hundreds of queries against one graph in
+// bit-parallel lanes (64 queries per machine word per group),
+// returning each query's exact individual count and counters. All
+// queries run under opts' shared configuration (algorithm, kernel,
+// workers, time limit, governor); per-query state lives in each
+// BatchQuery. Under a Governor the whole batch is admitted once —
+// one grant covers every lane group.
+//
+// Options.Filter, TailCount, CheckpointPath, and ResumeFrom do not
+// apply to batches (per-query filters belong in BatchQuery; lane
+// batches always take the full leaf loop) and are rejected.
+func CountBatch(g *Graph, queries []BatchQuery, opts Options) (BatchResult, error) {
+	return CountBatchContext(context.Background(), g, queries, opts)
+}
+
+// CountBatchContext is CountBatch under a context: cancellation stops
+// the batch at its next poll and returns partial, non-attributable
+// results with the context's error.
+func CountBatchContext(ctx context.Context, g *Graph, queries []BatchQuery, opts Options) (BatchResult, error) {
+	var bres BatchResult
+	if err := opts.validate(); err != nil {
+		return bres, err
+	}
+	switch {
+	case opts.Filter != nil:
+		return bres, errors.New("light: CountBatch does not take Options.Filter; set per-query BatchQuery.Filter instead")
+	case opts.TailCount:
+		return bres, errors.New("light: CountBatch does not support TailCount (lane batches always run the leaf loop)")
+	case opts.CheckpointPath != "" || opts.ResumeFrom != "":
+		return bres, errors.New("light: CountBatch does not support checkpointing")
+	}
+	if len(queries) == 0 {
+		return bres, nil
+	}
+
+	// Compile one plan per query; identical patterns compile to
+	// identical plans and group automatically by compatibility key.
+	lq := make([]lanes.Query, len(queries))
+	recs := make([]*metrics.Recorder, len(queries))
+	maxPatternVerts := 0
+	for i, q := range queries {
+		if q.Pattern == nil {
+			return bres, fmt.Errorf("light: batch query %d has no pattern", i)
+		}
+		pl, err := preparePlan(g, q.Pattern, opts)
+		if err != nil {
+			return bres, fmt.Errorf("light: batch query %d (%s): %w", i, q.Pattern.Name(), err)
+		}
+		if n := q.Pattern.NumVertices(); n > maxPatternVerts {
+			maxPatternVerts = n
+		}
+		spec := lanes.Spec{MinDegree: q.MinDegree}
+		if q.Roots != nil {
+			roots := make([]graph.VertexID, len(q.Roots))
+			copy(roots, q.Roots)
+			spec.Roots = roots
+		}
+		if q.Filter != nil {
+			spec.Filter = q.Filter
+		}
+		lq[i] = lanes.Query{Plan: pl, Spec: spec}
+		recs[i] = metrics.NewRecorder()
+	}
+	if opts.HubDegreeThreshold != 0 {
+		g.g.BuildHubIndex(opts.HubDegreeThreshold)
+	}
+
+	batchRec := metrics.NewRecorder()
+	lopts := lanes.Options{
+		Engine: engine.Options{
+			Kernel:    opts.Intersection.kind(),
+			TimeLimit: opts.TimeLimit,
+			Metrics:   batchRec,
+		},
+		Workers:   opts.Workers,
+		Recorders: recs,
+	}
+	if lopts.Workers <= 1 {
+		lopts.Workers = 1
+	}
+
+	// Governance: one admission grant for the whole batch, the memory
+	// budget chained under the governor's, and the degradation ladder
+	// sized against the largest pattern in the batch.
+	var degradations []string
+	var govLim *arena.Limiter
+	start := time.Now()
+	if opts.Governor != nil {
+		gov := opts.Governor.g
+		a, aerr := gov.Admit(ctx, lopts.Workers, opts.AdmissionTimeout)
+		if aerr != nil {
+			return bres, mapErr(aerr)
+		}
+		defer a.Close()
+		lopts.Gate = a
+		lopts.Watchdog = gov.Watchdog()
+		govLim = gov.MemLimiter()
+		batchRec.AddDuration(metrics.AdmissionWaitNanos, a.Wait())
+		batchRec.Add(metrics.AdmissionSlotsGranted, uint64(a.Granted()))
+		if a.Granted() < lopts.Workers {
+			degradations = append(degradations, fmt.Sprintf(
+				"admission: granted %d of %d requested workers", a.Granted(), lopts.Workers))
+		}
+		lopts.Workers = a.Granted()
+	}
+	runLim := arena.NewLimiter(opts.MemoryBudget, govLim)
+	defer runLim.ReleaseAll()
+	lopts.MemLimiter = runLim
+	var err error
+	lopts.Workers, degradations, err = sizeBatchWorkers(lopts.Workers, g, maxPatternVerts, runLim, degradations)
+	if err != nil {
+		return bres, err
+	}
+	lopts.Gate.ReleaseTo(lopts.Workers)
+
+	lres, err := lanes.Run(ctx, g.g, lq, lopts)
+	bres.Duration = time.Since(start)
+	if n := runLim.TightGrows(); n > 0 {
+		degradations = append(degradations, fmt.Sprintf(
+			"memory: %d exact-size arena slab grows under budget pressure", n))
+	}
+	if lres.SlotsShed > 0 {
+		degradations = append(degradations, fmt.Sprintf(
+			"admission: shed %d worker slot(s) to waiting queries", lres.SlotsShed))
+	}
+	if lres.Stalls > 0 {
+		degradations = append(degradations, fmt.Sprintf(
+			"watchdog: %d stall(s) detected", lres.Stalls))
+	}
+	batchRec.Add(metrics.GovernorDegradations, uint64(len(degradations)))
+
+	bres.Groups = lres.Groups
+	bres.Workers = lres.Workers
+	bres.Degradations = degradations
+	bres.Queries = make([]Result, len(queries))
+	for i := range queries {
+		lc := lres.PerQuery[i]
+		r := Result{
+			Matches:              lc.Matches,
+			Intersections:        lc.Stats.Intersections,
+			GallopingPercent:     lc.Stats.GallopingPercent(),
+			Nodes:                lc.Nodes,
+			Duration:             bres.Duration,
+			CandidateMemoryBytes: lres.CandidateMemBytes,
+			Stopped:              lres.Stopped,
+		}
+		r.Order = make([]int, len(lq[i].Plan.Pi))
+		copy(r.Order, lq[i].Plan.Pi)
+		r.Report = newRunReport(recs[i], opts, lres.Workers, bres.Duration, lres.CandidateMemBytes, nil, nil)
+		bres.Queries[i] = r
+	}
+	return bres, mapErr(err)
+}
+
+// sizeBatchWorkers is sizeWorkers for a batch: the per-worker
+// footprint estimate uses the largest pattern any group runs.
+func sizeBatchWorkers(workers int, g *Graph, maxPatternVerts int, lim *arena.Limiter, degradations []string) (int, []string, error) {
+	head := lim.Headroom()
+	if head < 0 {
+		return workers, degradations, nil
+	}
+	allocs := maxPatternVerts + 1
+	tightEst := arena.EstimateBytes(allocs, g.MaxDegree(), true)
+	if tightEst <= 0 || int64(workers)*tightEst <= head {
+		return workers, degradations, nil
+	}
+	fit := int(head / tightEst)
+	if fit < 1 {
+		fit = 1
+	}
+	if fit < workers {
+		degradations = append(degradations, fmt.Sprintf(
+			"memory: shed workers %d -> %d (predicted %d B/worker, headroom %d B)",
+			workers, fit, tightEst, head))
+		workers = fit
+	}
+	return workers, degradations, nil
+}

@@ -1,9 +1,12 @@
 // Command lightbench is the deterministic smoke-benchmark suite behind
 // scripts/bench_gate.sh: P2/P4/P6 on a seeded synthetic graph, serial
 // and 4-thread, plus a hub-bitmap kernel section (HybridBlock vs
-// HybridBitmap on a seeded star-chords graph) and a governor-overhead
+// HybridBitmap on a seeded star-chords graph), a governor-overhead
 // section (the same cell ungoverned and under an uncontended Governor,
-// gated on counter parity), written as a schema-versioned
+// gated on counter parity), and a catalog-throughput section (the full
+// P1..P7 catalog over a minimum-degree ladder, lane-batched vs a
+// sequential loop at equal workers, gated on per-query counter parity
+// with the aggregate speedup advisory), written as a schema-versioned
 // BENCH_smoke.json report.
 //
 // The work counters in the report (matches, nodes, comps,
@@ -133,12 +136,108 @@ func runSuite() (*metrics.BenchReport, error) {
 		return nil, err
 	}
 	rows = append(rows, govRows...)
+	catalogRows, err := runCatalogSection(g)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, catalogRows...)
 	return metrics.NewBenchReport("smoke", map[string]string{
 		"dataset":        benchDataset,
 		"scale":          fmt.Sprint(benchScale),
 		"bitmap_dataset": fmt.Sprintf("%s(%d,%d,%d)", bitmapDataset, bitmapLeaves, bitmapChords, bitmapSeed),
 		"governor":       fmt.Sprintf("slots=%d pattern=%s", govSlots, govPattern),
+		"catalog":        fmt.Sprintf("ladder=%v workers=%d", catalogMinDegrees, catalogWorkers),
 	}, rows), nil
+}
+
+// The catalog section's configuration: the full P1..P7 catalog, each
+// pattern queried at every threshold of a nested minimum-degree ladder
+// — the analytics shape lane batching targets, where every stricter
+// query's search tree nests inside the loosest one's, so the batch
+// walks each pattern's tree once where the sequential loop walks it
+// len(ladder) times.
+var catalogMinDegrees = []int{0, 1, 2, 3, 4}
+
+const catalogWorkers = 4
+
+// runCatalogSection runs the whole catalog ladder as one lane batch and
+// as a sequential loop of filtered Count calls at the same worker
+// count. Per-query counter parity between the two is a hard self-check
+// — the lane engine's exactness gate — and the aggregate batch-vs-loop
+// speedup is printed and recorded in two gate-able aggregate rows
+// (counters exact, wall clock advisory in CI).
+func runCatalogSection(g *light.Graph) ([]metrics.BenchRow, error) {
+	names := light.CatalogNames()
+	var queries []light.BatchQuery
+	for _, name := range names {
+		p, err := light.PatternByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, md := range catalogMinDegrees {
+			queries = append(queries, light.BatchQuery{Pattern: p, MinDegree: md})
+		}
+	}
+	bres, err := light.CountBatch(g, queries, light.Options{Workers: catalogWorkers})
+	if err != nil {
+		return nil, fmt.Errorf("catalog section batch: %w", err)
+	}
+	if bres.Groups != len(names) {
+		return nil, fmt.Errorf("catalog section: %d lane groups for %d patterns", bres.Groups, len(names))
+	}
+
+	var batchAgg, seqAgg metrics.BenchRow
+	var seqWall time.Duration
+	for i, q := range queries {
+		md := catalogMinDegrees[i%len(catalogMinDegrees)]
+		opts := light.Options{Workers: catalogWorkers}
+		if md > 0 {
+			min := md
+			opts.Filter = func(u int, v light.VertexID) bool { return g.Degree(v) >= min }
+		}
+		solo, err := light.Count(g, q.Pattern, opts)
+		if err != nil {
+			return nil, fmt.Errorf("catalog section %s/minDeg=%d sequential: %w", q.Pattern.Name(), md, err)
+		}
+		seqWall += solo.Duration
+		b := bres.Queries[i]
+		// Hard self-check: the lane-attributed counters must equal the
+		// sequential reference exactly, per query. Any drift here means
+		// the shared traversal is mis-attributing work and the whole
+		// section is invalid.
+		if b.Matches != solo.Matches || b.Nodes != solo.Nodes ||
+			b.Report.Comps != solo.Report.Comps ||
+			b.Report.Intersections != solo.Report.Intersections ||
+			b.Report.Galloping != solo.Report.Galloping ||
+			b.Report.Elements != solo.Report.Elements {
+			return nil, fmt.Errorf("catalog section: lane parity failed for %s/minDeg=%d: batch %+v vs sequential %+v",
+				q.Pattern.Name(), md, b.Report, solo.Report)
+		}
+		addReport(&batchAgg, b.Report)
+		addReport(&seqAgg, solo.Report)
+	}
+	batchAgg.Dataset, batchAgg.Pattern, batchAgg.System = benchDataset, "catalog", fmt.Sprintf("LIGHT-batch/%dT", catalogWorkers)
+	batchAgg.WallNS = int64(bres.Duration)
+	batchAgg.MemoryBytes = bres.Queries[0].CandidateMemoryBytes
+	seqAgg.Dataset, seqAgg.Pattern, seqAgg.System = benchDataset, "catalog", fmt.Sprintf("LIGHT-seq-loop/%dT", catalogWorkers)
+	seqAgg.WallNS = int64(seqWall)
+
+	fmt.Printf("catalog section: %d queries, batch %v vs sequential loop %v (%.2fx aggregate throughput, advisory)\n",
+		len(queries), bres.Duration.Round(time.Microsecond), seqWall.Round(time.Microsecond),
+		float64(seqWall)/float64(bres.Duration))
+	return []metrics.BenchRow{batchAgg, seqAgg}, nil
+}
+
+// addReport accumulates a run's deterministic counters into an
+// aggregate row.
+func addReport(row *metrics.BenchRow, r *light.RunReport) {
+	row.Matches += r.Matches
+	row.Nodes += r.Nodes
+	row.Comps += r.Comps
+	row.Intersections += r.Intersections
+	row.Galloping += r.Galloping
+	row.Elements += r.Elements
+	row.BitmapProbes += r.BitmapProbes
 }
 
 // The governor section's configuration: one pattern from the main

@@ -55,6 +55,7 @@ func main() {
 	resumePath := flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
 	memBudget := flag.String("mem-budget", "", "cap candidate-arena memory (bytes, or with K/M/G suffix); degrades gracefully, exits 5 when exceeded")
 	admitTimeout := flag.Duration("admission-timeout", 0, "fail fast (exit 4) if a worker slot is not granted within this long (runs under a process governor)")
+	batch := flag.Bool("batch", false, "run the whole P1..P7 catalog as one bit-parallel lane batch (ignores -pattern)")
 	flag.Parse()
 
 	g, err := loadGraph(*graphArg, *scale)
@@ -89,6 +90,12 @@ func main() {
 		// governor so the admission path, slot accounting, and watchdog
 		// behave exactly as they would under a shared daemon.
 		opts.Governor = light.NewGovernor(light.GovernorConfig{})
+	}
+
+	if *batch {
+		fmt.Printf("data graph: %v\n", g)
+		runBatch(g, opts, *stats)
+		return
 	}
 
 	fmt.Printf("data graph: %v\npattern:    %v\n", g, p)
@@ -190,6 +197,73 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("run report:\n%s\n", data)
+	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
+	}
+}
+
+// runBatch counts every catalog pattern against g in one CountBatch
+// call: the lane engine walks each compatibility group's shared search
+// tree once and attributes exact per-pattern counters. Ctrl-C / SIGTERM
+// cancel cleanly with partial results flagged.
+func runBatch(g *light.Graph, opts light.Options, stats bool) {
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	names := light.CatalogNames()
+	queries := make([]light.BatchQuery, len(names))
+	for i, name := range names {
+		p, err := light.PatternByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		queries[i] = light.BatchQuery{Pattern: p}
+	}
+	bres, err := light.CountBatchContext(ctx, g, queries, opts)
+	stopSignals()
+	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	exitCode := 0
+	switch {
+	case errors.Is(err, light.ErrTimeLimit):
+		exitCode = exitTimeLimit
+		fmt.Fprintln(os.Stderr, "lightenum: time limit exceeded; partial results on stdout")
+	case errors.Is(err, light.ErrOverloaded):
+		exitCode = exitOverloaded
+		fmt.Fprintln(os.Stderr, "lightenum: overloaded: no worker slot granted; retry later")
+	case errors.Is(err, light.ErrMemoryBudget):
+		exitCode = exitMemoryBudget
+		fmt.Fprintln(os.Stderr, "lightenum: memory budget exceeded; partial results on stdout")
+	default:
+		if err != nil && !interrupted {
+			fatal(err)
+		}
+	}
+	if interrupted {
+		fmt.Printf("interrupted: partial results below (%v)\n", err)
+	}
+	fmt.Printf("batch:       %d queries in %d lane group(s), %d worker(s)\n",
+		len(bres.Queries), bres.Groups, bres.Workers)
+	for i, q := range bres.Queries {
+		fmt.Printf("%-9s matches: %-14d nodes: %-12d intersections: %d\n",
+			names[i], q.Matches, q.Nodes, q.Intersections)
+	}
+	if len(bres.Queries) > 0 {
+		fmt.Printf("time:        %v (shared batch wall clock)\n", bres.Queries[0].Duration.Round(time.Microsecond))
+	}
+	for _, d := range bres.Degradations {
+		fmt.Printf("degraded:    %s\n", d)
+	}
+	if stats {
+		reports := make(map[string]*light.RunReport, len(bres.Queries))
+		for i, q := range bres.Queries {
+			reports[names[i]] = q.Report
+		}
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run reports:\n%s\n", data)
 	}
 	if exitCode != 0 {
 		os.Exit(exitCode)

@@ -33,6 +33,10 @@ type Config struct {
 	// TimeLimit bounds each baseline oracle run (default 30s). A
 	// baseline that reports a budget error is skipped, not failed.
 	TimeLimit time.Duration
+	// Lanes forces the lane-batch oracle stage (identical-pattern root
+	// batch plus a mixed-spec batch, per-lane counters vs sequential
+	// references) even in Quick mode; full mode always runs it.
+	Lanes bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -295,6 +299,25 @@ func RunCase(c Case, cfg Config) (Outcome, *Discrepancy) {
 				return fail("counters/"+sc.name+"/"+v.name, want, res.Matches, d)
 			}
 		}
+	}
+
+	// Lane-batch oracle: the same case run bit-parallel — a root-window
+	// batch of identical-pattern lanes and a mixed-spec batch — with each
+	// lane's attributed counters demanded equal to a sequential run.
+	if cfg.Lanes || !cfg.Quick {
+		var alt *plan.Plan
+		if len(orders) > 1 {
+			oi := (int(uint64(c.Seed)%uint64(len(orders))) + 1) % len(orders)
+			alt, err = plan.Compile(p, po, orders[oi], plan.ModeLIGHT)
+			if err != nil {
+				return fail("lanes/compile-alt", want, 0, err.Error())
+			}
+		}
+		if d := checkLanes(c, g, light, alt, want, cfg); d != nil {
+			out.Checks++
+			return out, d
+		}
+		out.Checks += 2
 	}
 
 	// Enumerate mode: the emitted mapping set must be exactly the

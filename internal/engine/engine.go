@@ -35,10 +35,59 @@ var ErrTimeLimit = errors.New("engine: time limit exceeded")
 // frames remain valid.
 var ErrMemoryBudget = errors.New("engine: memory budget exceeded")
 
+// errLaneVisit rejects enumeration-mode runs in lane mode: a visitor
+// would need the per-match lane mask to tell which queries a mapping
+// belongs to, and no caller needs that; lane batches are count-only.
+var errLaneVisit = errors.New("engine: lane mode is count-only; visitors are not supported")
+
 // VisitFunc receives each match: mapping[u] is the data vertex assigned
 // to pattern vertex u. The slice is reused between calls; copy it to
 // retain. Return false to stop the enumeration early.
 type VisitFunc func(mapping []graph.VertexID) bool
+
+// LaneProber is the engine's view of a bit-parallel lane batch (the
+// lanes package implements it): up to 64 queries that share one
+// compiled plan, packed one per bit of a uint64 word. The engine walks
+// the shared search tree once, carrying the mask of still-live lanes,
+// and asks the prober which lanes accept each assignment. Probers must
+// be immutable during a run and safe for concurrent use by many
+// workers.
+type LaneProber interface {
+	// NumLanes is the number of packed queries (1..64).
+	NumLanes() int
+	// All is the mask with one bit set per lane.
+	All() uint64
+	// RootMask returns the lanes whose root set contains v (applied
+	// only when materializing the plan's root vertex).
+	RootMask(v graph.VertexID) uint64
+	// MaskFor returns the lanes whose per-query filters accept
+	// assigning data vertex v (with degree deg) to pattern vertex u.
+	// It runs in the innermost MAT loop and must be allocation-free.
+	MaskFor(u int, v graph.VertexID, deg int) uint64
+}
+
+// LaneCounts are one lane's individually-attributed counters: exactly
+// the counters a sequential run of that lane's query (same plan, its
+// root set and filters) would produce. The attribution rule makes this
+// exact, not approximate: a lane is live at a search-tree node iff the
+// sequential run of its query would expand that node, and every COMP's
+// operands depend only on the assignments above it — never on which
+// other lanes are live — so charging each shared operation to every
+// live lane reproduces each query's solo counters bit-for-bit.
+type LaneCounts struct {
+	Matches uint64
+	Nodes   uint64
+	Comps   uint64
+	Stats   intersect.Stats
+}
+
+// Add accumulates other into lc.
+func (lc *LaneCounts) Add(other LaneCounts) {
+	lc.Matches += other.Matches
+	lc.Nodes += other.Nodes
+	lc.Comps += other.Comps
+	lc.Stats.Add(other.Stats)
+}
 
 // Options configure an Enumerator.
 type Options struct {
@@ -86,6 +135,14 @@ type Options struct {
 	// private arena. The arena must not be shared between enumerators
 	// that run concurrently.
 	Arena *arena.Arena
+	// Lanes, when non-nil, switches the enumerator into bit-parallel
+	// lane mode: it walks the plan's search tree once for the whole
+	// batch, masking lanes off as their per-query filters reject
+	// assignments, and attributes every node, match, COMP, and
+	// intersection to each live lane in Result.Lanes. Lane mode is
+	// count-only (no visitors) and disables the TailCount shortcut —
+	// the leaf loop must run to apply leaf-level lane masks.
+	Lanes LaneProber
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +159,11 @@ type Result struct {
 	Nodes   uint64          // search-tree nodes expanded (MAT extensions)
 	Comps   uint64          // COMP operations executed (incl. aliases)
 	Stopped bool            // true when the visitor stopped the run early
+	// Lanes holds per-lane attributed counters in lane mode (one entry
+	// per lane of Options.Lanes); nil otherwise. The top-level counters
+	// above then describe the shared batch traversal — the work
+	// actually performed — while Lanes splits it per query.
+	Lanes []LaneCounts
 }
 
 // Add accumulates other into r (for combining per-worker results).
@@ -111,6 +173,14 @@ func (r *Result) Add(other Result) {
 	r.Nodes += other.Nodes
 	r.Comps += other.Comps
 	r.Stopped = r.Stopped || other.Stopped
+	if len(other.Lanes) > len(r.Lanes) {
+		grown := make([]LaneCounts, len(other.Lanes)) //lightvet:ignore hotpath -- grows at most once per worker, when the first lane result lands
+		copy(grown, r.Lanes)
+		r.Lanes = grown
+	}
+	for i := range other.Lanes {
+		r.Lanes[i].Add(other.Lanes[i])
+	}
 }
 
 // AddTo folds r into a metrics recorder (no-op when m is nil). The
@@ -177,6 +247,15 @@ type Enumerator struct {
 	// probes the graph's hub index for K1 operands.
 	useBitmaps bool
 
+	// Lane mode state: lanes aliases opts.Lanes (nil check per
+	// candidate), alive is the mask of lanes live on the current search
+	// path, and laneBuf is the persistent per-lane counter array begin
+	// aliases into result.Lanes (allocated once in New, so per-chunk
+	// resets stay allocation-free).
+	lanes   LaneProber
+	alive   uint64
+	laneBuf []LaneCounts
+
 	visit    VisitFunc
 	result   Result
 	deadline time.Time
@@ -195,11 +274,23 @@ func New(g *graph.Graph, pl *plan.Plan, opts Options) *Enumerator {
 	if opts.Delta < 0 {
 		panic(fmt.Sprintf("engine: Options.Delta is %d, must be non-negative (0 selects the default δ=%d)", opts.Delta, intersect.DefaultDelta))
 	}
+	if opts.Lanes != nil {
+		if nl := opts.Lanes.NumLanes(); nl < 1 || nl > 64 {
+			panic(fmt.Sprintf("engine: Options.Lanes packs %d lanes, must be 1..64", nl))
+		}
+		if opts.Filter != nil {
+			panic("engine: Options.Filter and Options.Lanes are exclusive; per-lane filters belong in the prober")
+		}
+	}
 	opts = opts.withDefaults()
 	n := pl.Pattern.NumVertices()
 	ar := opts.Arena
 	if ar == nil {
 		ar = arena.New()
+	}
+	var laneBuf []LaneCounts
+	if opts.Lanes != nil {
+		laneBuf = make([]LaneCounts, opts.Lanes.NumLanes())
 	}
 	return &Enumerator{
 		g:          g,
@@ -213,6 +304,8 @@ func New(g *graph.Graph, pl *plan.Plan, opts Options) *Enumerator {
 		ar:         ar,
 		dmax:       g.MaxDegree(),
 		useBitmaps: opts.Kernel.UsesBitmaps(),
+		lanes:      opts.Lanes,
+		laneBuf:    laneBuf,
 	}
 }
 
@@ -249,6 +342,10 @@ func (e *Enumerator) Run(visit VisitFunc) (Result, error) {
 //light:hotpath
 func (e *Enumerator) RunRoots(roots []graph.VertexID, visit VisitFunc) (Result, error) {
 	e.begin(visit)
+	if e.lanes != nil && visit != nil {
+		e.err = errLaneVisit
+		return e.finish()
+	}
 	rootVertex := e.pl.Pi[0]
 	for _, v := range roots {
 		// Poll before the filter: a filter that rejects every root
@@ -260,6 +357,14 @@ func (e *Enumerator) RunRoots(roots []graph.VertexID, visit VisitFunc) (Result, 
 		if e.opts.Filter != nil && !e.opts.Filter(rootVertex, v) {
 			continue
 		}
+		if e.lanes != nil {
+			m := e.lanes.RootMask(v) & e.lanes.MaskFor(rootVertex, v, e.g.Degree(v))
+			if m == 0 {
+				continue
+			}
+			e.alive = m
+			e.laneNodes(m)
+		}
 		e.assigned[rootVertex] = v
 		e.matMask = 1 << uint(rootVertex)
 		e.result.Nodes++
@@ -268,6 +373,15 @@ func (e *Enumerator) RunRoots(roots []graph.VertexID, visit VisitFunc) (Result, 
 		}
 	}
 	return e.finish()
+}
+
+// laneNodes charges one expanded node to every live lane.
+//
+//light:hotpath
+func (e *Enumerator) laneNodes(m uint64) {
+	for ; m != 0; m &= m - 1 {
+		e.laneBuf[bits.TrailingZeros64(m)].Nodes++
+	}
 }
 
 // Frame is a resumable suspension of the search: the state needed to
@@ -279,6 +393,11 @@ type Frame struct {
 	MatMask   uint32
 	Cands     [][]graph.VertexID // per pattern vertex; nil when not live
 	Remaining []graph.VertexID
+	// LaneMask is the mask of lanes live at the suspension point (0
+	// outside lane mode). A donated or checkpointed frame from a lane
+	// batch must resume with exactly these lanes, or the thief/resumer
+	// would attribute the subtree to the wrong queries.
+	LaneMask uint64
 }
 
 // Snapshot captures the current search state as a Frame that resumes the
@@ -292,6 +411,7 @@ func (e *Enumerator) Snapshot(sigmaIdx int, candidates []graph.VertexID) *Frame 
 		MatMask:   e.matMask,
 		Cands:     make([][]graph.VertexID, n),
 		Remaining: append([]graph.VertexID(nil), candidates...),
+		LaneMask:  e.alive,
 	}
 	for u := 0; u < n; u++ {
 		if e.candLiveAt(u, sigmaIdx) {
@@ -401,6 +521,20 @@ func (e *Enumerator) candLiveAt(u int, sigmaIdx int) bool {
 //light:hotpath
 func (e *Enumerator) Resume(f *Frame, visit VisitFunc) (Result, error) {
 	e.begin(visit)
+	if e.lanes != nil {
+		if visit != nil {
+			e.err = errLaneVisit
+			return e.finish()
+		}
+		if f.LaneMask == 0 || f.LaneMask&^e.lanes.All() != 0 {
+			// A zero mask means the frame came from a non-lane run (or
+			// a pre-lane checkpoint); stray high bits mean a different
+			// batch. Either way the attribution would be garbage.
+			e.err = fmt.Errorf("engine: frame lane mask %#x does not match the %d-lane batch", f.LaneMask, e.lanes.NumLanes()) //lightvet:ignore hotpath -- terminal validation failure, not per-node work
+			return e.finish()
+		}
+		e.alive = f.LaneMask
+	}
 	copy(e.assigned, f.Assigned)
 	e.matMask = f.MatMask
 	for u := range f.Cands {
@@ -431,6 +565,13 @@ func (e *Enumerator) begin(visit VisitFunc) {
 	e.result = Result{}
 	e.polls = 0
 	e.err = nil
+	if e.lanes != nil {
+		for i := range e.laneBuf {
+			e.laneBuf[i] = LaneCounts{}
+		}
+		e.result.Lanes = e.laneBuf
+		e.alive = e.lanes.All()
+	}
 	e.ar.Reset()
 	e.scratch = nil
 	for u := range e.bufs {
@@ -476,9 +617,30 @@ func (e *Enumerator) step(i int) bool {
 	return e.matLoop(i, candidates, true)
 }
 
-// compute runs the COMP of u (Equation 6) into e.cand[u], returning false
-// when the candidate set is empty.
+// compute runs the COMP of u (Equation 6) into e.cand[u], returning
+// false when the candidate set is empty. In lane mode the operation and
+// its kernel-stat delta are charged to every live lane: the operands
+// depend only on the assignments above this node, so each live lane's
+// sequential run would perform the identical computation here.
 func (e *Enumerator) compute(u int) bool {
+	if e.lanes != nil {
+		before := e.result.Stats
+		ok := e.computeShared(u)
+		delta := e.result.Stats.Sub(before)
+		for m := e.alive; m != 0; m &= m - 1 {
+			lc := &e.laneBuf[bits.TrailingZeros64(m)]
+			lc.Comps++
+			lc.Stats.Add(delta)
+		}
+		return ok
+	}
+	return e.computeShared(u)
+}
+
+// computeShared is the lane-agnostic COMP body.
+//
+//light:hotpath
+func (e *Enumerator) computeShared(u int) bool {
 	e.result.Comps++
 	ops := &e.pl.Ops[u]
 	nOperands := len(ops.K1) + len(ops.K2)
@@ -572,7 +734,9 @@ func (e *Enumerator) matLoop(i int, candidates []graph.VertexID, checkHook bool)
 	}
 
 	// Counting shortcut: the last operation's loop body only counts.
-	if e.opts.TailCount && e.visit == nil && e.opts.Filter == nil && i == len(e.pl.Sigma)-1 {
+	// Lane mode must take the full loop — each leaf candidate still
+	// needs its per-lane mask probe.
+	if e.opts.TailCount && e.visit == nil && e.opts.Filter == nil && e.lanes == nil && i == len(e.pl.Sigma)-1 {
 		return e.tailCount(u, candidates)
 	}
 
@@ -599,6 +763,29 @@ func (e *Enumerator) matLoop(i int, candidates []graph.VertexID, checkHook bool)
 			continue
 		}
 		if e.opts.Filter != nil && !e.opts.Filter(u, v) {
+			continue
+		}
+		if e.lanes != nil {
+			// Lane mask probe: drop the lanes whose query-specific
+			// filters reject this assignment; if none survive, the
+			// whole subtree is dead for the batch. The parent's mask
+			// is restored after the recursion — cheaper than a frame.
+			m := e.alive & e.lanes.MaskFor(u, v, e.g.Degree(v))
+			if m == 0 {
+				continue
+			}
+			saved := e.alive
+			e.alive = m
+			e.laneNodes(m)
+			e.assigned[u] = v
+			e.matMask |= bit
+			e.result.Nodes++
+			ok := e.step(i + 1)
+			e.alive = saved
+			if !ok {
+				return false
+			}
+			e.matMask &^= bit
 			continue
 		}
 		e.assigned[u] = v
@@ -679,6 +866,11 @@ func (e *Enumerator) tailCount(u int, candidates []graph.VertexID) bool {
 
 func (e *Enumerator) emit() bool {
 	e.result.Matches++
+	if e.lanes != nil {
+		for m := e.alive; m != 0; m &= m - 1 {
+			e.laneBuf[bits.TrailingZeros64(m)].Matches++
+		}
+	}
 	if e.visit != nil && !e.visit(e.assigned) {
 		e.result.Stopped = true
 		return false

@@ -36,4 +36,14 @@ const (
 	// PointWatchdogFire fires when the stall watchdog is about to
 	// record a stall diagnostic; an injected error suppresses it.
 	PointWatchdogFire = "admission.watchdog.fire"
+	// PointBatchAdmit fires as a lane-batch run begins, after its
+	// single admission grant and before the first compatibility group
+	// executes.
+	PointBatchAdmit = "lanes.batch.admit"
+	// PointLaneFold fires when a finished lane group folds its
+	// per-lane counters into the per-query metrics recorders.
+	PointLaneFold = "lanes.fold"
+	// PointCheckpointMask fires when a checkpoint about to be written
+	// carries frames with a live lane mask (lane-batch state).
+	PointCheckpointMask = "supervise.checkpoint.mask"
 )

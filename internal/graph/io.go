@@ -215,10 +215,13 @@ func ReadCSR(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: corrupt CSR payload: CRC %#x, want %#x", got, want)
 		}
 	}
-	g.finalize()
+	// Validate before finalize: finalize slices adjacency through the
+	// offsets (degree stats, hub bitmaps), so corrupt offsets must be
+	// rejected first — a version-1 file has no CRC to catch them.
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("graph: corrupt CSR payload: %w", err)
 	}
+	g.finalize()
 	return g, nil
 }
 

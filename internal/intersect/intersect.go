@@ -117,6 +117,20 @@ func (s *Stats) Add(other Stats) {
 	s.BitmapProbes += other.BitmapProbes
 }
 
+// Sub returns the counter-wise difference s − before; both must come
+// from the same monotonically-growing accumulator (the lane engine uses
+// it to carve one COMP's delta out of a running total).
+//
+//light:hotpath
+func (s Stats) Sub(before Stats) Stats {
+	return Stats{
+		Intersections: s.Intersections - before.Intersections,
+		Galloping:     s.Galloping - before.Galloping,
+		Elements:      s.Elements - before.Elements,
+		BitmapProbes:  s.BitmapProbes - before.BitmapProbes,
+	}
+}
+
 // GallopingPercent returns the percentage of intersections that used the
 // galloping path (Table III), or 0 when no intersections ran.
 func (s *Stats) GallopingPercent() float64 {

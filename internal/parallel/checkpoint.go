@@ -110,6 +110,10 @@ func (l *ledger) finish(id unitID, delta engine.Result) {
 		return
 	}
 	u.done = true
+	// Lane counters alias the enumerator's persistent per-lane buffer,
+	// which the worker resets on its next chunk; a stored delta must
+	// own its copy.
+	delta.Lanes = append([]engine.LaneCounts(nil), delta.Lanes...)
 	u.delta = delta
 	if l.parentCommitted(u) {
 		l.commit(id, u)
@@ -183,6 +187,9 @@ func (l *ledger) snapshot(cursor int64) *supervise.Checkpoint {
 		Base:        l.base,
 		Done:        mergeRanges(l.done),
 	}
+	// The base's lane counters keep accumulating after the lock drops;
+	// the snapshot must own a stable copy for the file write.
+	ck.Base.Lanes = append([]engine.LaneCounts(nil), l.base.Lanes...)
 	// Keep the stored set compact; the merge result is authoritative.
 	l.done = ck.Done
 	ids := make([]unitID, 0, len(l.units))

@@ -1,0 +1,39 @@
+//go:build faultinject
+
+package supervise
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"light/internal/faultpoint"
+)
+
+// TestChaosCheckpointMaskPoint: the lane-mask fault point fires only
+// for checkpoints that actually carry lane masks — a failed lane-batch
+// write must surface as an error, while plain checkpoints pass the
+// armed point untouched.
+func TestChaosCheckpointMaskPoint(t *testing.T) {
+	defer faultpoint.Reset()
+	errInjected := errors.New("injected")
+	faultpoint.Set(faultpoint.PointCheckpointMask, func() error { return errInjected })
+	dir := t.TempDir()
+
+	laneCk := sampleCheckpoint() // carries a LaneMask frame
+	if err := laneCk.Save(filepath.Join(dir, "lanes.ckpt")); !errors.Is(err, errInjected) {
+		t.Fatalf("lane-mask save err = %v", err)
+	}
+
+	plain := sampleCheckpoint()
+	for _, f := range plain.Frames {
+		f.LaneMask = 0
+	}
+	plain.Base.Lanes = nil
+	if err := plain.Save(filepath.Join(dir, "plain.ckpt")); err != nil {
+		t.Fatalf("plain save under armed mask point: %v", err)
+	}
+	if _, err := LoadCheckpoint(filepath.Join(dir, "plain.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+}

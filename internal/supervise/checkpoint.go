@@ -14,7 +14,7 @@ import (
 	"light/internal/plan"
 )
 
-// Checkpoint file format (little-endian, version 2):
+// Checkpoint file format (little-endian, version 3):
 //
 //	u32 magic "LCKP", u32 version
 //	u64 fingerprint   (plan+graph binding, see Fingerprint)
@@ -22,21 +22,33 @@ import (
 //	u8  complete
 //	u64 matches, u64 nodes, u64 intersections, u64 galloping
 //	u64 elements, u64 comps       (version ≥ 2 only)
+//	u64 bitmapProbes              (version ≥ 3 only)
+//	u32 nLanes, then nLanes × lane    (version ≥ 3 only)
 //	u32 nDone,   then nDone × (u32 lo, u32 hi)
 //	u32 nFrames, then nFrames × frame
 //	u32 CRC32 (IEEE) of everything above
+//
+// lane := u64 matches, u64 nodes, u64 comps,
+//
+//	u64 intersections, u64 galloping, u64 elements, u64 bitmapProbes
 //
 // frame := u32 sigmaIdx, u32 matMask,
 //
 //	u32 nAssigned × u32,
 //	u32 nCands × (u8 present [, u32 len × u32]),
-//	u32 nRemaining × u32
+//	u32 nRemaining × u32,
+//	u64 laneMask                  (version ≥ 3 only)
 //
-// Version 1 files (written before the elements/comps counters existed)
-// are still readable; the missing counters load as zero.
+// Version 3 added the bit-parallel lane state: each frame carries the
+// mask of lanes live at its suspension point, and the committed base
+// carries the per-lane attributed counters, so a resumed lane batch
+// still reports exact per-query totals. Versions 1 and 2 remain
+// readable; the missing fields load as zero (frames from those files
+// necessarily predate lane batching, so a zero mask is correct and the
+// lane engine rejects them explicitly on resume).
 const (
 	ckptMagic   = 0x4c434b50 // "LCKP"
-	ckptVersion = 2
+	ckptVersion = 3
 )
 
 // RootRange is a half-open range [Lo, Hi) of root vertex ids whose
@@ -141,6 +153,17 @@ func (c *Checkpoint) encode() []byte {
 	e.u64(c.Base.Stats.Galloping)
 	e.u64(c.Base.Stats.Elements)
 	e.u64(c.Base.Comps)
+	e.u64(c.Base.Stats.BitmapProbes)
+	e.u32(uint32(len(c.Base.Lanes)))
+	for _, lc := range c.Base.Lanes {
+		e.u64(lc.Matches)
+		e.u64(lc.Nodes)
+		e.u64(lc.Comps)
+		e.u64(lc.Stats.Intersections)
+		e.u64(lc.Stats.Galloping)
+		e.u64(lc.Stats.Elements)
+		e.u64(lc.Stats.BitmapProbes)
+	}
 	e.u32(uint32(len(c.Done)))
 	for _, r := range c.Done {
 		e.u32(r.Lo)
@@ -161,6 +184,7 @@ func (c *Checkpoint) encode() []byte {
 			e.vertices(cand)
 		}
 		e.vertices(f.Remaining)
+		e.u64(f.LaneMask)
 	}
 	e.u32(crc32.ChecksumIEEE(e.buf))
 	return e.buf
@@ -173,6 +197,14 @@ func (c *Checkpoint) encode() []byte {
 func (c *Checkpoint) Save(path string) error {
 	if err := faultpoint.Hit(faultpoint.PointCheckpointWrite); err != nil {
 		return fmt.Errorf("supervise: checkpoint write: %w", err)
+	}
+	for _, f := range c.Frames {
+		if f.LaneMask != 0 {
+			if err := faultpoint.Hit(faultpoint.PointCheckpointMask); err != nil {
+				return fmt.Errorf("supervise: checkpoint write (lane mask): %w", err)
+			}
+			break
+		}
 	}
 	data := c.encode()
 	dir := filepath.Dir(path)
@@ -309,6 +341,24 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		c.Base.Stats.Elements = d.u64("elements")
 		c.Base.Comps = d.u64("comps")
 	}
+	if version >= 3 {
+		c.Base.Stats.BitmapProbes = d.u64("bitmap probes")
+		nLanes := d.count("lanes", 56)
+		if nLanes > 64 {
+			return nil, fmt.Errorf("supervise: corrupt checkpoint %s: %d lanes (max 64)", path, nLanes)
+		}
+		for i := 0; i < nLanes && d.err == nil; i++ {
+			var lc engine.LaneCounts
+			lc.Matches = d.u64("lane matches")
+			lc.Nodes = d.u64("lane nodes")
+			lc.Comps = d.u64("lane comps")
+			lc.Stats.Intersections = d.u64("lane intersections")
+			lc.Stats.Galloping = d.u64("lane galloping")
+			lc.Stats.Elements = d.u64("lane elements")
+			lc.Stats.BitmapProbes = d.u64("lane bitmap probes")
+			c.Base.Lanes = append(c.Base.Lanes, lc)
+		}
+	}
 	nDone := d.count("done ranges", 8)
 	for i := 0; i < nDone && d.err == nil; i++ {
 		r := RootRange{Lo: d.u32("range lo"), Hi: d.u32("range hi")}
@@ -333,6 +383,9 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 			f.Cands = append(f.Cands, d.vertices("cand set"))
 		}
 		f.Remaining = d.vertices("frame remaining")
+		if version >= 3 {
+			f.LaneMask = d.u64("frame lane mask")
+		}
 		c.Frames = append(c.Frames, f)
 	}
 	if d.err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"light/internal/engine"
@@ -22,7 +23,11 @@ func sampleCheckpoint() *Checkpoint {
 			Matches: 123,
 			Nodes:   456,
 			Comps:   78,
-			Stats:   intersect.Stats{Intersections: 40, Galloping: 9, Elements: 8000},
+			Stats:   intersect.Stats{Intersections: 40, Galloping: 9, Elements: 8000, BitmapProbes: 11},
+			Lanes: []engine.LaneCounts{
+				{Matches: 100, Nodes: 300, Comps: 50, Stats: intersect.Stats{Intersections: 30, Galloping: 7, Elements: 6000, BitmapProbes: 5}},
+				{Matches: 23, Nodes: 156, Comps: 28, Stats: intersect.Stats{Intersections: 10, Galloping: 2, Elements: 2000, BitmapProbes: 6}},
+			},
 		},
 		Done: []RootRange{{Lo: 0, Hi: 10}, {Lo: 14, Hi: 30}},
 		Frames: []*engine.Frame{
@@ -32,6 +37,7 @@ func sampleCheckpoint() *Checkpoint {
 				Assigned:  []graph.VertexID{7, 0, 9},
 				Cands:     [][]graph.VertexID{{1, 2, 3}, nil, {4}},
 				Remaining: []graph.VertexID{5, 6},
+				LaneMask:  0b11,
 			},
 			{
 				SigmaIdx: 1,
@@ -44,7 +50,7 @@ func sampleCheckpoint() *Checkpoint {
 }
 
 func framesEqual(a, b *engine.Frame) bool {
-	if a.SigmaIdx != b.SigmaIdx || a.MatMask != b.MatMask {
+	if a.SigmaIdx != b.SigmaIdx || a.MatMask != b.MatMask || a.LaneMask != b.LaneMask {
 		return false
 	}
 	eq := func(x, y []graph.VertexID) bool {
@@ -85,7 +91,7 @@ func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
 	if got.Fingerprint != ck.Fingerprint || got.Cursor != ck.Cursor || got.Complete != ck.Complete {
 		t.Fatalf("header mismatch: %+v", got)
 	}
-	if got.Base != ck.Base {
+	if !reflect.DeepEqual(got.Base, ck.Base) {
 		t.Fatalf("base mismatch: %+v vs %+v", got.Base, ck.Base)
 	}
 	if len(got.Done) != len(ck.Done) {

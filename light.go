@@ -306,6 +306,15 @@ type Options struct {
 	// TailCount enables the final-vertex counting shortcut for
 	// count-only runs (an extension beyond the paper; see DESIGN.md).
 	TailCount bool
+	// Filter, when non-nil, must approve every (pattern vertex, data
+	// vertex) assignment: return false to skip mapping data vertex v
+	// to pattern vertex u. It must be sound (never reject an
+	// assignment on some match the caller wants) and cheap — it runs
+	// in the innermost loop, possibly from many workers at once. A
+	// filtered run disables the TailCount shortcut so every leaf
+	// assignment is individually checked; this is also the sequential
+	// reference semantics for batch queries (see CountBatch).
+	Filter func(u int, v VertexID) bool
 	// Order overrides the cost-based enumeration order with an explicit
 	// permutation of pattern vertices (advanced; must be connected).
 	Order []int
@@ -444,6 +453,7 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 		Kernel:    opts.Intersection.kind(),
 		TimeLimit: opts.TimeLimit,
 		TailCount: opts.TailCount,
+		Filter:    opts.Filter,
 		Metrics:   rec,
 	}
 	start := time.Now()

@@ -37,13 +37,16 @@ go test -race "${SHORT[@]}" ./internal/lint/...
 echo "==> go test -count=1 -shuffle=on ./..."
 go test -count=1 -shuffle=on "${SHORT[@]}" ./...
 
-echo "==> go test -race (parallel, engine, metrics, admission incl. soak)"
-go test -race "${SHORT[@]}" ./internal/parallel/... ./internal/engine/... ./internal/metrics/... ./internal/admission/...
+echo "==> go test -race (parallel, engine, lanes, metrics, admission incl. soak)"
+# Explicit -timeout: under -race these are the slowest steps, and a hang
+# should fail with goroutine dumps inside the CI job budget, not at it.
+go test -race -timeout 10m "${SHORT[@]}" \
+    ./internal/parallel/... ./internal/engine/... ./internal/lanes/... ./internal/metrics/... ./internal/admission/...
 
 echo "==> chaos: go test -race -tags faultinject"
 go build -tags faultinject ./...
-go test -race -tags faultinject "${SHORT[@]}" \
-    ./internal/faultpoint/ ./internal/parallel/ ./internal/supervise/ ./internal/graph/ ./internal/engine/ ./internal/admission/
+go test -race -tags faultinject -timeout 10m "${SHORT[@]}" \
+    ./internal/faultpoint/ ./internal/parallel/ ./internal/supervise/ ./internal/graph/ ./internal/engine/ ./internal/admission/ ./internal/lanes/
 
 echo "==> fuzz smoke: FuzzCSRRoundTrip (10s)"
 go test ./internal/graph/ -run FuzzCSRRoundTrip -fuzz FuzzCSRRoundTrip -fuzztime 10s
