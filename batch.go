@@ -124,8 +124,10 @@ func CountBatchContext(ctx context.Context, g *Graph, queries []BatchQuery, opts
 		lq[i] = lanes.Query{Plan: pl, Spec: spec}
 		recs[i] = metrics.NewRecorder()
 	}
-	if opts.HubDegreeThreshold != 0 {
-		g.g.BuildHubIndex(opts.HubDegreeThreshold)
+	if opts.HubDegreeThreshold > 0 {
+		// Same first-wins preparation as single-query runs: one build,
+		// shared by every concurrent query on this graph.
+		g.g.EnsureHubIndex(opts.HubDegreeThreshold)
 	}
 
 	batchRec := metrics.NewRecorder()

@@ -29,6 +29,7 @@ func TestOptionsValidation(t *testing.T) {
 		{"negative checkpoint interval", Options{CheckpointInterval: -time.Second}, "CheckpointInterval"},
 		{"negative memory budget", Options{MemoryBudget: -1}, "MemoryBudget"},
 		{"negative admission timeout", Options{AdmissionTimeout: -time.Second}, "AdmissionTimeout"},
+		{"negative hub degree threshold", Options{HubDegreeThreshold: -1}, "HubDegreeThreshold"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

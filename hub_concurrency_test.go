@@ -1,0 +1,113 @@
+package light
+
+import (
+	"sync"
+	"testing"
+)
+
+// These are the regression tests for the shared-Graph hub-index data
+// race: run() and CountBatchContext used to call BuildHubIndex on the
+// shared *Graph per query, which nilled-then-swapped the index under
+// the hot-path HubBitmap reader — two concurrent queries with
+// HubDegreeThreshold set were a data race (caught by -race pre-fix)
+// that could crash or silently drop bitmap probes mid-run.
+
+// TestConcurrentQueriesHubThreshold runs concurrent Counts with
+// conflicting HubDegreeThreshold values on one shared *Graph. Pre-fix
+// this races; post-fix every query returns the exact reference count
+// (τ shifts kernel strategy only, never the match set).
+func TestConcurrentQueriesHubThreshold(t *testing.T) {
+	g := GenerateBarabasiAlbert(600, 6, 17)
+	p, err := PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Count(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const queries = 8
+	var wg sync.WaitGroup
+	var results [queries]Result
+	var errs [queries]error
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			opts := Options{
+				Intersection:       HybridBitmap,
+				HubDegreeThreshold: 3 + q%3, // conflicting τ across queries
+				Workers:            1 + q%2,
+			}
+			results[q], errs[q] = Count(g, p, opts)
+		}(q)
+	}
+	wg.Wait()
+	for q := 0; q < queries; q++ {
+		if errs[q] != nil {
+			t.Errorf("query %d: %v", q, errs[q])
+			continue
+		}
+		if results[q].Matches != ref.Matches {
+			t.Errorf("query %d: matches = %d, want %d", q, results[q].Matches, ref.Matches)
+		}
+	}
+}
+
+// TestHubIndexOneBuildAcrossQueries pins the first-wins preparation:
+// N queries requesting a τ on one graph — concurrently and repeatedly,
+// single and batch — trigger exactly one index build; conflicting τ
+// values do not thrash rebuilds.
+func TestHubIndexOneBuildAcrossQueries(t *testing.T) {
+	g := GenerateBarabasiAlbert(400, 5, 23)
+	tri, err := PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := g.g.HubBuilds() // construction's auto-build
+
+	const queries = 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, queries)
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			// Every query asks for τ=4 except two dissenters asking 9:
+			// whichever τ wins, there must be exactly one build.
+			tau := 4
+			if q%5 == 0 {
+				tau = 9
+			}
+			opts := Options{Intersection: MergeBitmap, HubDegreeThreshold: tau}
+			var err error
+			if q%2 == 0 {
+				_, err = Count(g, tri, opts)
+			} else {
+				_, err = CountBatch(g, []BatchQuery{{Pattern: tri}}, opts)
+			}
+			errCh <- err
+		}(q)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.g.HubBuilds(); got != base+1 {
+		t.Errorf("HubBuilds = %d after %d queries, want %d (one shared build)", got, queries, base+1)
+	}
+
+	// Sequential repeats with either τ stay on the pinned index.
+	for _, tau := range []int{4, 9, 4} {
+		if _, err := Count(g, tri, Options{HubDegreeThreshold: tau}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.g.HubBuilds(); got != base+1 {
+		t.Errorf("HubBuilds = %d after sequential repeats, want %d", got, base+1)
+	}
+}

@@ -1,0 +1,33 @@
+package graph
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Fingerprint returns an FNV-1a hash over the graph's full CSR content
+// (vertex count plus every offset and adjacency entry), identifying the
+// graph snapshot for registries and result caches: two graphs with
+// equal fingerprints have identical adjacency structure for all
+// practical purposes, and any edit to the graph changes the value.
+// Computed once on first use (graphs are immutable) and safe for
+// concurrent callers.
+func (g *Graph) Fingerprint() uint64 {
+	g.fpOnce.Do(func() {
+		h := fnv.New64a()
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(g.NumVertices()))
+		h.Write(b[:]) //lightvet:ignore hygiene -- fnv.Write cannot fail
+		for _, off := range g.offsets {
+			binary.LittleEndian.PutUint64(b[:], uint64(off))
+			h.Write(b[:]) //lightvet:ignore hygiene -- fnv.Write cannot fail
+		}
+		buf := b[:4]
+		for _, w := range g.adj {
+			binary.LittleEndian.PutUint32(buf, w)
+			h.Write(buf) //lightvet:ignore hygiene -- fnv.Write cannot fail
+		}
+		g.fp = h.Sum64()
+	})
+	return g.fp
+}

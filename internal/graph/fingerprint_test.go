@@ -1,0 +1,21 @@
+package graph
+
+import "testing"
+
+func TestFingerprintIdentifiesSnapshot(t *testing.T) {
+	g1 := starGraph(50, [][2]VertexID{{1, 2}})
+	g2 := starGraph(50, [][2]VertexID{{1, 2}})
+	g3 := starGraph(50, [][2]VertexID{{1, 3}})
+	if g1.Fingerprint() == 0 {
+		t.Fatal("zero fingerprint")
+	}
+	if g1.Fingerprint() != g1.Fingerprint() {
+		t.Fatal("fingerprint not stable")
+	}
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Fatal("identical graphs, different fingerprints")
+	}
+	if g1.Fingerprint() == g3.Fingerprint() {
+		t.Fatal("different graphs, same fingerprint")
+	}
+}

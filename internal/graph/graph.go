@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // VertexID identifies a data vertex. The paper stores IDs as 32-bit
@@ -35,8 +37,18 @@ type Graph struct {
 
 	// hub is the degree-threshold bitmap index over high-degree
 	// neighbor lists (see hub.go); auto-built by finalize, rebuilt or
-	// dropped via BuildHubIndex.
-	hub *hubIndex
+	// dropped via BuildHubIndex. Published atomically so hot-path
+	// readers (HubBitmap) never observe a partial rebuild; hubMu
+	// serializes builds, and hubPinned (guarded by hubMu) records that
+	// an explicit τ won the first-wins EnsureHubIndex race.
+	hub       atomic.Pointer[hubIndex]
+	hubMu     sync.Mutex
+	hubPinned bool
+	hubBuilds atomic.Uint64
+
+	// fp is the lazily computed content fingerprint (see Fingerprint).
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // NumVertices returns |V(G)| (N in the paper).
@@ -155,7 +167,12 @@ func (g *Graph) finalize() {
 		g.degreeSum2 += fd * fd
 		g.degreeSum3 += fd * fd * fd
 	}
-	g.BuildHubIndex(0)
+	// Auto-build the hub index without pinning: the construction-time
+	// default must not win the EnsureHubIndex first-τ race against a
+	// query's explicit HubDegreeThreshold.
+	g.hubMu.Lock()
+	g.buildHubLocked(0)
+	g.hubMu.Unlock()
 }
 
 // Edge is an undirected edge between two data vertices.

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"sort"
 
 	"light/internal/bitset"
@@ -11,10 +12,17 @@ import (
 // neighbor list (internal/bitset), so the intersection kernels can
 // replace an O(|small|·log|hub|) gallop against a hub with O(|small|)
 // bitmap probes — the bitset strategy of Ferraz et al. adapted to the
-// paper's CSR layout. The index is built once per graph (at Build /
-// Reorder / load time via finalize) and is immutable afterwards; it
-// never participates in checkpoints because it is derived entirely
-// from the adjacency structure.
+// paper's CSR layout. The index is derived entirely from the adjacency
+// structure and never participates in checkpoints.
+//
+// Concurrency: the index pointer is published atomically and every
+// published index is immutable, so queries running on the same *Graph
+// read a consistent snapshot with plain loads while another query
+// rebuilds. Builds are serialized by hubMu and never expose a
+// partially-built index (the historical nil-then-swap rebuild raced
+// with the hot-path HubBitmap reader and could drop bitmap probes or
+// crash mid-run). BuildHubIndex is idempotent for a repeated τ, and
+// EnsureHubIndex adds the first-wins policy concurrent queries need.
 
 // hubMinDegreeFloor is the smallest auto-tuned τ: below ~64 neighbors a
 // galloping probe is already only a handful of cache lines, so a bitmap
@@ -29,12 +37,19 @@ const hubAvgDegreeFactor = 8
 // graphs can always index their hubs.
 const hubBudgetFloorBytes = 64 << 10
 
+// hubTauDropped is the effective threshold of a deliberately dropped
+// index: no degree can reach it, so the hot-path degree gate rejects
+// every lookup with one comparison.
+const hubTauDropped = math.MaxInt
+
 // hubIndex maps hub vertices (sorted ascending) to their bitmaps. A
 // vertex above the degree threshold may still lack a bitmap when the
 // memory budget excluded its span; lookups simply return nil and the
-// kernels fall back to list intersection.
+// kernels fall back to list intersection. A hubIndex is immutable once
+// published through Graph.hub.
 type hubIndex struct {
-	tau   int
+	req   int              // the τ argument the build was requested with (0 = auto, < 0 = dropped)
+	tau   int              // effective degree threshold (hubTauDropped when dropped)
 	ids   []VertexID       // hub vertex ids, ascending
 	maps  []*bitset.Bitmap // maps[i] is the bitmap of Neighbors(ids[i])
 	bytes int64            // total bitmap storage
@@ -75,29 +90,71 @@ func (g *Graph) hubBudgetBytes() int64 {
 // whose bitmap span exceeds the remaining budget are skipped (their
 // intersections fall back to the list kernels).
 //
-// The graph must not be enumerated concurrently with a rebuild.
+// Safe to call while the graph is being enumerated concurrently: the
+// new index is built aside and published atomically, so in-flight
+// queries keep reading the old snapshot until the swap. Repeated calls
+// with the τ the current index was built with are no-ops. An explicit
+// call also pins τ for EnsureHubIndex (first-wins; see there).
 func (g *Graph) BuildHubIndex(tau int) {
-	g.hub = nil
-	if tau < 0 {
-		return
+	g.hubMu.Lock()
+	defer g.hubMu.Unlock()
+	g.hubPinned = true
+	g.buildHubLocked(tau)
+}
+
+// EnsureHubIndex is the query-path preparation of the hub index: the
+// first caller to request a specific τ on this graph rebuilds the
+// index and pins that τ; every later call — even with a conflicting
+// τ — is a no-op reading whatever the winner built. First-wins keeps
+// concurrent queries with mixed HubDegreeThreshold settings from
+// thrashing rebuilds against each other; a caller that genuinely wants
+// a different τ must use BuildHubIndex, which always applies its
+// argument. Returns true when this call performed the build.
+func (g *Graph) EnsureHubIndex(tau int) bool {
+	if cur := g.hub.Load(); cur != nil && cur.req == tau {
+		return false // already in the requested state, lock-free
 	}
-	if tau == 0 {
-		tau = g.autoHubThreshold()
+	g.hubMu.Lock()
+	defer g.hubMu.Unlock()
+	if g.hubPinned {
+		return false // an earlier query (or explicit build) won
 	}
-	if tau <= 0 {
-		return
+	g.hubPinned = true
+	return g.buildHubLocked(tau)
+}
+
+// buildHubLocked builds and atomically publishes the index for the
+// requested τ, skipping the work when the current index already
+// answers the same request. Callers must hold hubMu. Reports whether a
+// build actually ran.
+func (g *Graph) buildHubLocked(req int) bool {
+	if cur := g.hub.Load(); cur != nil && cur.req == req {
+		return false
 	}
-	h := &hubIndex{tau: tau}
-	g.hub = h
+	g.hubBuilds.Add(1)
+	h := &hubIndex{req: req, tau: req}
+	if req == 0 {
+		h.tau = g.autoHubThreshold()
+	}
+	if h.tau <= 0 {
+		// Dropped by request (τ < 0), or nothing to index (edgeless
+		// graph): publish an empty index whose degree gate rejects
+		// everything, so the reader never needs a nil special case
+		// beyond the never-built zero value.
+		h.tau = hubTauDropped
+		g.hub.Store(h)
+		return true
+	}
 	n := g.NumVertices()
 	var cands []VertexID
 	for v := 0; v < n; v++ {
-		if g.Degree(VertexID(v)) >= tau {
+		if g.Degree(VertexID(v)) >= h.tau {
 			cands = append(cands, VertexID(v))
 		}
 	}
 	if len(cands) == 0 {
-		return
+		g.hub.Store(h)
+		return true
 	}
 	// Degree-descending build order: under a budget, the highest-degree
 	// hubs are the ones whose gallops are most expensive to keep.
@@ -120,7 +177,14 @@ func (g *Graph) BuildHubIndex(tau int) {
 		h.bytes += est
 	}
 	sort.Sort(hubByID{h})
+	g.hub.Store(h)
+	return true
 }
+
+// HubBuilds returns how many hub-index builds this graph has performed
+// (including the automatic build at construction) — an observability
+// hook for tests asserting that concurrent queries share one build.
+func (g *Graph) HubBuilds() uint64 { return g.hubBuilds.Load() }
 
 // hubByID sorts the index's parallel id/bitmap slices by vertex id, the
 // order HubBitmap's binary search requires.
@@ -136,12 +200,13 @@ func (s hubByID) Swap(i, j int) {
 // HubBitmap returns the bitmap form of v's neighbor list, or nil when v
 // is not an indexed hub (no index, degree below τ, or excluded by the
 // memory budget). The degree gate makes the common non-hub case one
-// comparison; only genuine hubs pay the binary search.
+// comparison; only genuine hubs pay the binary search. Safe under a
+// concurrent rebuild: the atomic load pins one immutable snapshot.
 //
 //light:hotpath
 func (g *Graph) HubBitmap(v VertexID) *bitset.Bitmap {
-	h := g.hub
-	if h == nil || g.Degree(v) < h.tau {
+	h := g.hub.Load()
+	if h == nil || len(h.ids) == 0 || g.Degree(v) < h.tau {
 		return nil
 	}
 	lo, hi := 0, len(h.ids)
@@ -160,26 +225,29 @@ func (g *Graph) HubBitmap(v VertexID) *bitset.Bitmap {
 }
 
 // HubThreshold returns the degree threshold τ of the current hub
-// index, or 0 when the graph carries none.
+// index, or 0 when the graph carries none (never built, or dropped).
 func (g *Graph) HubThreshold() int {
-	if g.hub == nil {
+	h := g.hub.Load()
+	if h == nil || h.tau == hubTauDropped {
 		return 0
 	}
-	return g.hub.tau
+	return h.tau
 }
 
 // NumHubs returns the number of vertices with an indexed bitmap.
 func (g *Graph) NumHubs() int {
-	if g.hub == nil {
+	h := g.hub.Load()
+	if h == nil {
 		return 0
 	}
-	return len(g.hub.ids)
+	return len(h.ids)
 }
 
 // HubIndexBytes returns the bitmap storage held by the hub index.
 func (g *Graph) HubIndexBytes() int64 {
-	if g.hub == nil {
+	h := g.hub.Load()
+	if h == nil {
 		return 0
 	}
-	return g.hub.bytes
+	return h.bytes
 }

@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHubIndexConcurrentBuildAndProbe is the data-race regression test
+// for the nil-then-swap rebuild: concurrent BuildHubIndex calls while
+// readers probe HubBitmap must neither race (caught by -race) nor
+// observe a partially built index (a hub whose bitmap momentarily
+// disappears or loses neighbors). Pre-fix, BuildHubIndex nilled g.hub
+// and then mutated the new index in place while HubBitmap read it.
+func TestHubIndexConcurrentBuildAndProbe(t *testing.T) {
+	g := starGraph(200, [][2]VertexID{{1, 2}, {2, 3}, {3, 4}})
+	g.BuildHubIndex(5)
+	center := VertexID(0) // starGraph keeps original ids: 0 is the center
+	if g.HubBitmap(center) == nil {
+		t.Fatal("fixture: center is not an indexed hub")
+	}
+	wantDeg := g.Degree(center)
+
+	var readers, builders sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Either snapshot must be complete: the center's bitmap
+				// is present at both τ values and carries every leaf.
+				bmp := g.HubBitmap(center)
+				if bmp == nil {
+					t.Error("center bitmap vanished mid-rebuild")
+					return
+				}
+				n := 0
+				for _, w := range g.Neighbors(center) {
+					if bmp.Contains(w) {
+						n++
+					}
+				}
+				if n != wantDeg {
+					t.Errorf("partial bitmap: %d of %d neighbors present", n, wantDeg)
+					return
+				}
+			}
+		}()
+	}
+	for b := 0; b < 2; b++ {
+		builders.Add(1)
+		go func(b int) {
+			defer builders.Done()
+			for i := 0; i < 50; i++ {
+				g.BuildHubIndex(5 + b) // alternating τ defeats the same-τ fast path
+			}
+		}(b)
+	}
+	builders.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+// TestBuildHubIndexSameTauIdempotent pins the fast path: repeating
+// BuildHubIndex with the τ the current index was built with must not
+// rebuild.
+func TestBuildHubIndexSameTauIdempotent(t *testing.T) {
+	g := starGraph(100, nil)
+	base := g.HubBuilds() // construction's auto-build
+	if base == 0 {
+		t.Fatal("construction did not build the index")
+	}
+	g.BuildHubIndex(7)
+	if got := g.HubBuilds(); got != base+1 {
+		t.Fatalf("explicit build: HubBuilds = %d, want %d", got, base+1)
+	}
+	for i := 0; i < 5; i++ {
+		g.BuildHubIndex(7)
+	}
+	if got := g.HubBuilds(); got != base+1 {
+		t.Fatalf("repeated same-τ builds: HubBuilds = %d, want %d", got, base+1)
+	}
+	g.BuildHubIndex(9)
+	if got := g.HubBuilds(); got != base+2 {
+		t.Fatalf("changed τ: HubBuilds = %d, want %d", got, base+2)
+	}
+}
+
+// TestEnsureHubIndexFirstWins pins the query-path policy: the first
+// EnsureHubIndex τ on a graph rebuilds once and pins; concurrent and
+// later calls — same or conflicting τ — are no-ops, and only an
+// explicit BuildHubIndex overrides the pin.
+func TestEnsureHubIndexFirstWins(t *testing.T) {
+	g := starGraph(100, nil)
+	base := g.HubBuilds()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.EnsureHubIndex(7)
+		}()
+	}
+	wg.Wait()
+	if got := g.HubBuilds(); got != base+1 {
+		t.Fatalf("16 concurrent EnsureHubIndex(7): HubBuilds = %d, want %d (one shared build)", got, base+1)
+	}
+	if got := g.HubThreshold(); got != 7 {
+		t.Fatalf("HubThreshold = %d, want 7", got)
+	}
+
+	// A conflicting later τ loses: no rebuild, winner's τ stays.
+	if g.EnsureHubIndex(13) {
+		t.Fatal("conflicting EnsureHubIndex(13) reported a build")
+	}
+	if got := g.HubThreshold(); got != 7 {
+		t.Fatalf("after losing Ensure: HubThreshold = %d, want 7", got)
+	}
+	if got := g.HubBuilds(); got != base+1 {
+		t.Fatalf("after losing Ensure: HubBuilds = %d, want %d", got, base+1)
+	}
+
+	// The explicit API still applies its argument.
+	g.BuildHubIndex(13)
+	if got := g.HubThreshold(); got != 13 {
+		t.Fatalf("after explicit BuildHubIndex(13): HubThreshold = %d, want 13", got)
+	}
+}
+
+// TestEnsureHubIndexAfterExplicitBuild: an explicit BuildHubIndex pins
+// τ, so a later query-path Ensure with a different τ must not rebuild.
+func TestEnsureHubIndexAfterExplicitBuild(t *testing.T) {
+	g := starGraph(100, nil)
+	g.BuildHubIndex(9)
+	n := g.HubBuilds()
+	if g.EnsureHubIndex(5) {
+		t.Fatal("EnsureHubIndex(5) rebuilt over an explicit BuildHubIndex(9)")
+	}
+	if got := g.HubBuilds(); got != n {
+		t.Fatalf("HubBuilds = %d, want %d", got, n)
+	}
+	if got := g.HubThreshold(); got != 9 {
+		t.Fatalf("HubThreshold = %d, want 9", got)
+	}
+}

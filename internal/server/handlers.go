@@ -1,0 +1,623 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"light"
+)
+
+// maxRequestBytes bounds request bodies; batch root lists are the
+// largest legitimate payload.
+const maxRequestBytes = 8 << 20
+
+// QueryOptions is the options block shared by /query, /enumerate, and
+// /batch requests. Zero values mean the library defaults (LIGHT,
+// HybridBlock, one worker).
+type QueryOptions struct {
+	// Algorithm is SE, LM, MSC, or LIGHT.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Kernel is Merge, MergeBlock, Galloping, Hybrid, HybridBlock,
+	// MergeBitmap, or HybridBitmap.
+	Kernel string `json:"kernel,omitempty"`
+	// Workers is the worker-pool request; the governor may grant fewer
+	// under load.
+	Workers int `json:"workers,omitempty"`
+	// TailCount enables the count-only leaf shortcut (rejected by
+	// /enumerate and /batch).
+	TailCount bool `json:"tail_count,omitempty"`
+	// HubDegreeThreshold prepares the graph's hub index with this τ
+	// (first-wins across concurrent queries; see light.Options).
+	HubDegreeThreshold int `json:"hub_degree_threshold,omitempty"`
+	// MemoryBudgetBytes caps this query's candidate-arena bytes,
+	// nesting under the server-wide budget.
+	MemoryBudgetBytes int64 `json:"memory_budget_bytes,omitempty"`
+	// TimeoutMS is the per-query deadline in milliseconds; 0 applies
+	// the server default. The server's MaxDeadline clamps it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the result cache for this request (the fresh
+	// result is still stored).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// patternSpec is an inline pattern definition for callers querying
+// shapes outside the named catalog.
+type patternSpec struct {
+	// Name labels the pattern (cosmetic; defaults to "custom").
+	Name string `json:"name,omitempty"`
+	// N is the vertex count; Edges the undirected edge list over 0..N-1.
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// queryRequest is the body of /query and /enumerate.
+type queryRequest struct {
+	// Graph names a registered graph; Pattern a catalog pattern
+	// (P1..P7, triangle, clique4, ...). PatternGraph defines an inline
+	// pattern instead of Pattern.
+	Graph        string       `json:"graph"`
+	Pattern      string       `json:"pattern,omitempty"`
+	PatternGraph *patternSpec `json:"pattern_graph,omitempty"`
+	// Limit caps /enumerate rows (ignored by /query); 0 applies the
+	// server default.
+	Limit   int          `json:"limit,omitempty"`
+	Options QueryOptions `json:"options"`
+}
+
+// QueryResponse is the /query response body.
+type QueryResponse struct {
+	// Graph and Pattern echo the request; Matches is the exact count.
+	Graph   string `json:"graph"`
+	Pattern string `json:"pattern"`
+	Matches uint64 `json:"matches"`
+	// Order is the enumeration order the planner chose.
+	Order []int `json:"order"`
+	// DurationNS is this request's wall time (0 ns re-enumeration on a
+	// cache hit); Cached reports whether the result came from the cache.
+	DurationNS int64 `json:"duration_ns"`
+	Cached     bool  `json:"cached"`
+	// Report is the run's full metrics report (the original run's on a
+	// cache hit).
+	Report *light.RunReport `json:"report,omitempty"`
+}
+
+// decodeRequest parses the JSON body into v.
+func decodeRequest(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// resolvePattern returns the pattern a request names or defines inline.
+func resolvePattern(req *queryRequest) (*light.Pattern, error) {
+	switch {
+	case req.Pattern != "" && req.PatternGraph != nil:
+		return nil, errors.New("set pattern or pattern_graph, not both")
+	case req.Pattern != "":
+		return light.PatternByName(req.Pattern)
+	case req.PatternGraph != nil:
+		name := req.PatternGraph.Name
+		if name == "" {
+			name = "custom"
+		}
+		return light.NewPattern(name, req.PatternGraph.N, req.PatternGraph.Edges)
+	default:
+		return nil, errors.New("missing pattern")
+	}
+}
+
+// parseAlgorithm maps the wire name to the library enum.
+func parseAlgorithm(name string) (light.Algorithm, error) {
+	switch name {
+	case "", "LIGHT":
+		return light.LIGHT, nil
+	case "SE":
+		return light.SE, nil
+	case "LM":
+		return light.LM, nil
+	case "MSC":
+		return light.MSC, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want SE, LM, MSC, or LIGHT)", name)
+}
+
+// parseKernel maps the wire name to the library enum.
+func parseKernel(name string) (light.Intersection, error) {
+	switch name {
+	case "", "HybridBlock":
+		return light.HybridBlock, nil
+	case "Merge":
+		return light.Merge, nil
+	case "MergeBlock":
+		return light.MergeBlock, nil
+	case "Galloping":
+		return light.Galloping, nil
+	case "Hybrid":
+		return light.Hybrid, nil
+	case "MergeBitmap":
+		return light.MergeBitmap, nil
+	case "HybridBitmap":
+		return light.HybridBitmap, nil
+	}
+	return 0, fmt.Errorf("unknown kernel %q", name)
+}
+
+// buildOptions translates wire options into light.Options under the
+// server's governor, also returning the canonical option-key fragment
+// for the result cache: exactly the fields that can change the response
+// payload (workers and deadlines shift wall time and scheduling, never
+// matches or the deterministic counters, so they stay out of the key).
+func (s *Server) buildOptions(qo QueryOptions) (light.Options, string, error) {
+	algo, err := parseAlgorithm(qo.Algorithm)
+	if err != nil {
+		return light.Options{}, "", err
+	}
+	kern, err := parseKernel(qo.Kernel)
+	if err != nil {
+		return light.Options{}, "", err
+	}
+	if qo.Workers < 0 || qo.HubDegreeThreshold < 0 || qo.MemoryBudgetBytes < 0 || qo.TimeoutMS < 0 {
+		return light.Options{}, "", errors.New("options must be non-negative")
+	}
+	opts := light.Options{
+		Algorithm:          algo,
+		Intersection:       kern,
+		Workers:            qo.Workers,
+		TailCount:          qo.TailCount,
+		HubDegreeThreshold: qo.HubDegreeThreshold,
+		MemoryBudget:       qo.MemoryBudgetBytes,
+		Governor:           s.gov,
+		AdmissionTimeout:   s.cfg.AdmissionTimeout,
+	}
+	key := fmt.Sprintf("algo=%s;kern=%s;tail=%t;tau=%d;mem=%d",
+		algo, kern, qo.TailCount, qo.HubDegreeThreshold, qo.MemoryBudgetBytes)
+	return opts, key, nil
+}
+
+// queryContext applies the per-query deadline policy to the request
+// context.
+func (s *Server) queryContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if s.cfg.MaxDeadline > 0 && (d == 0 || d > s.cfg.MaxDeadline) {
+		d = s.cfg.MaxDeadline
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// statusForRunError maps run failures to HTTP statuses: overload →
+// 429, memory budget → 507 Insufficient Storage, deadline or stall →
+// 504 Gateway Timeout; anything else is a 400-class option error the
+// caller can fix, reported as 400.
+func statusForRunError(err error) int {
+	switch {
+	case errors.Is(err, light.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, light.ErrMemoryBudget):
+		return http.StatusInsufficientStorage
+	case errors.Is(err, light.ErrTimeLimit),
+		errors.Is(err, light.ErrStalled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// handleLoadGraph loads a graph file into the registry.
+func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		// Name registers the graph; Path is the server-local file.
+		Name string `json:"name"`
+		Path string `json:"path"`
+	}
+	if err := decodeRequest(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Path == "" {
+		s.writeError(w, http.StatusBadRequest, "missing path")
+		return
+	}
+	info, err := s.reg.Load(req.Name, req.Path)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+// handleListGraphs lists registered graphs.
+func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"graphs": s.reg.List()})
+}
+
+// handleUnloadGraph removes a graph and invalidates its cache entries.
+func (s *Server) handleUnloadGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	fp, ok := s.reg.Unload(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "graph %q not loaded", name)
+		return
+	}
+	invalidated := 0
+	if s.cache != nil {
+		invalidated = s.cache.InvalidateGraph(fp)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"unloaded":    name,
+		"invalidated": invalidated,
+	})
+}
+
+// prepared is the common front half of the query endpoints: everything
+// resolved and validated, ready to run.
+type prepared struct {
+	g        *light.Graph
+	info     GraphInfo
+	p        *light.Pattern
+	opts     light.Options
+	cacheKey string // "" when uncacheable/disabled
+}
+
+// prepare resolves the request's graph, pattern, and options, and
+// composes the cache key (graph fingerprint | canonical plan key |
+// option set).
+func (s *Server) prepare(req *queryRequest, endpointKey string) (prepared, int, error) {
+	var pr prepared
+	if req.Graph == "" {
+		return pr, http.StatusBadRequest, errors.New("missing graph")
+	}
+	g, info, ok := s.reg.Get(req.Graph)
+	if !ok {
+		return pr, http.StatusNotFound, fmt.Errorf("graph %q not loaded", req.Graph)
+	}
+	p, err := resolvePattern(req)
+	if err != nil {
+		return pr, http.StatusBadRequest, err
+	}
+	opts, optKey, err := s.buildOptions(req.Options)
+	if err != nil {
+		return pr, http.StatusBadRequest, err
+	}
+	pr = prepared{g: g, info: info, p: p, opts: opts}
+	if s.cache == nil {
+		return pr, 0, nil
+	}
+	planKey, err := light.PlanKey(g, p, opts)
+	if err != nil {
+		return pr, http.StatusBadRequest, err
+	}
+	pr.cacheKey = fmt.Sprintf("%s|%s|%s|%s", endpointKey, info.Fingerprint, planKey, optKey)
+	return pr, 0, nil
+}
+
+// handleQuery runs a count query, serving repeats from the result
+// cache.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeRequest(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pr, status, err := s.prepare(&req, "count")
+	if err != nil {
+		s.writeError(w, status, "%v", err)
+		return
+	}
+	if pr.cacheKey != "" && !req.Options.NoCache {
+		if v, ok := s.cache.Get(pr.cacheKey); ok {
+			resp := v.(QueryResponse)
+			resp.Cached = true
+			resp.DurationNS = 0
+			s.served[epQuery].Add(1)
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+	ctx, cancel := s.queryContext(r, req.Options.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	res, err := light.CountContext(ctx, pr.g, pr.p, pr.opts)
+	if err != nil {
+		s.writeError(w, statusForRunError(err), "count %s on %s: %v", pr.p.Name(), req.Graph, err)
+		return
+	}
+	resp := QueryResponse{
+		Graph:      req.Graph,
+		Pattern:    pr.p.Name(),
+		Matches:    res.Matches,
+		Order:      res.Order,
+		DurationNS: time.Since(start).Nanoseconds(),
+		Report:     res.Report,
+	}
+	if pr.cacheKey != "" {
+		s.cache.Put(pr.cacheKey, pr.g.Fingerprint(), resp)
+	}
+	s.served[epQuery].Add(1)
+	s.reports.add(ReportEntry{
+		Endpoint: endpointNames[epQuery], Graph: req.Graph, Pattern: pr.p.Name(),
+		When: time.Now().UTC(), Report: res.Report,
+	})
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// enumerateRow is one NDJSON line of a match stream.
+type enumerateRow struct {
+	// Mapping is the data vertex matched to each pattern vertex.
+	Mapping []light.VertexID `json:"mapping"`
+}
+
+// enumerateTrailer is the final NDJSON line of a match stream.
+type enumerateTrailer struct {
+	// Done marks the trailer; Rows is how many rows were streamed;
+	// Truncated reports the row limit cut the stream short.
+	Done      bool `json:"done"`
+	Rows      int  `json:"rows"`
+	Truncated bool `json:"truncated"`
+	// Error carries a mid-stream failure (deadline, stall); empty on
+	// success. The HTTP status is already committed when streaming
+	// starts, so stream consumers must check this field.
+	Error string `json:"error,omitempty"`
+}
+
+// handleEnumerate streams matches as NDJSON rows with a row limit.
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeRequest(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Options.TailCount {
+		s.writeError(w, http.StatusBadRequest, "tail_count does not apply to /enumerate")
+		return
+	}
+	if req.Limit < 0 {
+		s.writeError(w, http.StatusBadRequest, "limit must be non-negative")
+		return
+	}
+	limit := req.Limit
+	if limit == 0 {
+		limit = s.cfg.EnumerateRowLimit
+	}
+	if limit > s.cfg.MaxEnumerateRows {
+		limit = s.cfg.MaxEnumerateRows
+	}
+	pr, status, err := s.prepare(&req, "enumerate")
+	if err != nil {
+		s.writeError(w, status, "%v", err)
+		return
+	}
+
+	ctx, cancel := s.queryContext(r, req.Options.TimeoutMS)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	rows, writeErr := 0, error(nil)
+	truncated := false
+	_, err = light.EnumerateContext(ctx, pr.g, pr.p, pr.opts, func(m []light.VertexID) bool {
+		row := enumerateRow{Mapping: make([]light.VertexID, len(m))}
+		copy(row.Mapping, m)
+		if writeErr = enc.Encode(row); writeErr != nil {
+			return false // client went away; stop enumerating
+		}
+		rows++
+		if flusher != nil && rows%64 == 0 {
+			flusher.Flush()
+		}
+		if rows >= limit {
+			truncated = true
+			return false
+		}
+		return true
+	})
+	trailer := enumerateTrailer{Done: true, Rows: rows, Truncated: truncated}
+	if err != nil && !truncated && writeErr == nil {
+		trailer.Error = err.Error()
+	}
+	if encErr := enc.Encode(trailer); encErr != nil {
+		s.errors.Add(1)
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	s.served[epEnumerate].Add(1)
+	s.reports.add(ReportEntry{
+		Endpoint: endpointNames[epEnumerate], Graph: req.Graph, Pattern: pr.p.Name(),
+		When: time.Now().UTC(),
+	})
+}
+
+// batchQueryRequest is one member of a /batch request.
+type batchQueryRequest struct {
+	// Pattern / PatternGraph select the pattern, as in /query.
+	Pattern      string       `json:"pattern,omitempty"`
+	PatternGraph *patternSpec `json:"pattern_graph,omitempty"`
+	// Roots restricts matches to those rooted in this vertex set;
+	// MinDegree to matches using only vertices of at least this degree.
+	Roots     []light.VertexID `json:"roots,omitempty"`
+	MinDegree int              `json:"min_degree,omitempty"`
+}
+
+// batchRequest is the /batch body: up to hundreds of queries evaluated
+// in bit-parallel lanes against one graph.
+type batchRequest struct {
+	// Graph names a registered graph; Queries are the batch members.
+	Graph   string              `json:"graph"`
+	Queries []batchQueryRequest `json:"queries"`
+	Options QueryOptions        `json:"options"`
+}
+
+// BatchQueryResponse is one query's slice of a /batch response.
+type BatchQueryResponse struct {
+	// Pattern echoes the query; Matches is its exact individual count
+	// (equal to a solo run of the same query).
+	Pattern string `json:"pattern"`
+	Matches uint64 `json:"matches"`
+	// Report is the query's attributed metrics report.
+	Report *light.RunReport `json:"report,omitempty"`
+}
+
+// BatchResponse is the /batch response body.
+type BatchResponse struct {
+	// Graph echoes the request. Groups is how many shared traversals
+	// the batch compiled into; Workers the largest pool any group used.
+	Graph   string `json:"graph"`
+	Groups  int    `json:"groups"`
+	Workers int    `json:"workers"`
+	// DurationNS is this request's wall time (0 on a cache hit);
+	// Cached reports a cache hit.
+	DurationNS int64 `json:"duration_ns"`
+	Cached     bool  `json:"cached"`
+	// Degradations lists governor degradation events for the batch.
+	Degradations []string `json:"degradations,omitempty"`
+	// Queries hold per-query results in request order.
+	Queries []BatchQueryResponse `json:"queries"`
+}
+
+// handleBatch runs a lane-batched catalog of queries via CountBatch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeRequest(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Graph == "" {
+		s.writeError(w, http.StatusBadRequest, "missing graph")
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if req.Options.TailCount {
+		s.writeError(w, http.StatusBadRequest, "tail_count does not apply to /batch")
+		return
+	}
+	g, info, ok := s.reg.Get(req.Graph)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "graph %q not loaded", req.Graph)
+		return
+	}
+	opts, optKey, err := s.buildOptions(req.Options)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	queries := make([]light.BatchQuery, len(req.Queries))
+	keyParts := make([]string, 0, len(req.Queries)+2)
+	keyParts = append(keyParts, "batch|"+info.Fingerprint+"|"+optKey)
+	for i := range req.Queries {
+		bq := &req.Queries[i]
+		qr := queryRequest{Pattern: bq.Pattern, PatternGraph: bq.PatternGraph}
+		p, err := resolvePattern(&qr)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "batch query %d: %v", i, err)
+			return
+		}
+		if bq.MinDegree < 0 {
+			s.writeError(w, http.StatusBadRequest, "batch query %d: min_degree must be non-negative", i)
+			return
+		}
+		queries[i] = light.BatchQuery{
+			Pattern:   p,
+			Roots:     bq.Roots,
+			MinDegree: bq.MinDegree,
+		}
+		if s.cache != nil {
+			planKey, err := light.PlanKey(g, p, opts)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, "batch query %d: %v", i, err)
+				return
+			}
+			keyParts = append(keyParts, fmt.Sprintf("%s;mind=%d;roots=%s",
+				planKey, bq.MinDegree, rootsKey(bq.Roots)))
+		}
+	}
+	cacheKey := ""
+	if s.cache != nil {
+		cacheKey = strings.Join(keyParts, "|")
+	}
+	if cacheKey != "" && !req.Options.NoCache {
+		if v, ok := s.cache.Get(cacheKey); ok {
+			resp := v.(BatchResponse)
+			resp.Cached = true
+			resp.DurationNS = 0
+			s.served[epBatch].Add(1)
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+
+	ctx, cancel := s.queryContext(r, req.Options.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	bres, err := light.CountBatchContext(ctx, g, queries, opts)
+	if err != nil {
+		s.writeError(w, statusForRunError(err), "batch on %s: %v", req.Graph, err)
+		return
+	}
+	resp := BatchResponse{
+		Graph:        req.Graph,
+		Groups:       bres.Groups,
+		Workers:      bres.Workers,
+		DurationNS:   time.Since(start).Nanoseconds(),
+		Degradations: bres.Degradations,
+		Queries:      make([]BatchQueryResponse, len(bres.Queries)),
+	}
+	for i, qres := range bres.Queries {
+		resp.Queries[i] = BatchQueryResponse{
+			Pattern: queries[i].Pattern.Name(),
+			Matches: qres.Matches,
+			Report:  qres.Report,
+		}
+	}
+	if cacheKey != "" {
+		s.cache.Put(cacheKey, g.Fingerprint(), resp)
+	}
+	s.served[epBatch].Add(1)
+	last := len(bres.Queries) - 1
+	s.reports.add(ReportEntry{
+		Endpoint: endpointNames[epBatch], Graph: req.Graph,
+		Pattern: fmt.Sprintf("%d queries", len(queries)),
+		When:    time.Now().UTC(), Report: bres.Queries[last].Report,
+	})
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// rootsKey canonicalizes a root set for the cache key: sorted and
+// deduplicated, so semantically equal sets share entries.
+func rootsKey(roots []light.VertexID) string {
+	if roots == nil {
+		return "all"
+	}
+	sorted := make([]light.VertexID, len(roots))
+	copy(sorted, roots)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sb strings.Builder
+	for i, v := range sorted {
+		if i > 0 && sorted[i-1] == v {
+			continue
+		}
+		fmt.Fprintf(&sb, "%d,", v)
+	}
+	return sb.String()
+}

@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -58,6 +59,20 @@ type VertexID = uint32
 type Graph struct {
 	g        *graph.Graph
 	oldToNew []graph.VertexID // nil when the original numbering is unknown
+
+	// statsOnce guards stats, the estimator's degree-distribution
+	// snapshot. It is computed once per graph and shared by every
+	// query's planner, so concurrent queries never redo (or race on)
+	// per-graph preparation.
+	statsOnce sync.Once
+	stats     estimate.GraphStats
+}
+
+// planStats returns the cached estimator statistics, computing them on
+// first use. Safe for concurrent queries.
+func (g *Graph) planStats() estimate.GraphStats {
+	g.statsOnce.Do(func() { g.stats = estimate.Collect(g.g) })
+	return g.stats
 }
 
 // NumVertices returns |V(G)|.
@@ -81,6 +96,16 @@ func (g *Graph) HasEdge(u, v VertexID) bool { return g.g.HasEdge(u, v) }
 
 // MemoryBytes returns the CSR memory footprint.
 func (g *Graph) MemoryBytes() int64 { return g.g.MemoryBytes() }
+
+// Fingerprint returns a stable content hash of the graph's CSR
+// structure, identifying this snapshot for graph registries and result
+// caches (see cmd/lightd): equal fingerprints mean identical adjacency.
+// Computed once on first use; safe for concurrent callers.
+func (g *Graph) Fingerprint() uint64 { return g.g.Fingerprint() }
+
+// NumHubs returns how many vertices the current hub index holds
+// bitmaps for (0 when the index was dropped as not worthwhile).
+func (g *Graph) NumHubs() int { return g.g.NumHubs() }
 
 // String summarizes the graph.
 func (g *Graph) String() string { return g.g.String() }
@@ -320,11 +345,14 @@ type Options struct {
 	Order []int
 	// HubDegreeThreshold tunes the graph's hub bitmap index, used by
 	// the bitmap intersection kernels: 0 keeps the auto-tuned index
-	// built at graph construction, a positive value rebuilds the index
-	// with that degree threshold τ, and a negative value drops the
-	// index (bitmap kernels then run their list fallbacks). Rebuilding
-	// mutates the shared *Graph, so do not change it while another run
-	// on the same graph is in flight.
+	// built at graph construction; a positive value prepares the index
+	// with that degree threshold τ. Preparation is safe under
+	// concurrent queries and first-wins per graph: the first query to
+	// request a τ builds the index once (atomically published, never
+	// partially visible), and every later query — same or conflicting
+	// τ — shares that build. τ only shifts the bitmap/list kernel
+	// trade-off, never the match set, so a lost race costs performance
+	// at most. Negative values are rejected by validation.
 	HubDegreeThreshold int
 	// CheckpointPath, when non-empty, periodically persists the run's
 	// committed state to this file (atomic temp-file+rename writes) so
@@ -397,8 +425,7 @@ func preparePlan(g *Graph, p *Pattern, opts Options) (*plan.Plan, error) {
 		}
 		return plan.Compile(p.p, po, pi, opts.Algorithm.mode())
 	}
-	stats := estimate.Collect(g.g)
-	return plan.Choose(p.p, po, stats, opts.Algorithm.mode())
+	return plan.Choose(p.p, po, g.planStats(), opts.Algorithm.mode())
 }
 
 // Count returns the number of subgraphs of g isomorphic to p.
@@ -446,8 +473,12 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 		return Result{}, err
 	}
 	rec := metrics.NewRecorder()
-	if opts.HubDegreeThreshold != 0 {
-		g.g.BuildHubIndex(opts.HubDegreeThreshold)
+	if opts.HubDegreeThreshold > 0 {
+		// First-wins preparation: the first query to request a τ on this
+		// graph rebuilds the index once; concurrent and later queries —
+		// even with a conflicting τ — share that build instead of
+		// thrashing rebuilds (see graph.EnsureHubIndex).
+		g.g.EnsureHubIndex(opts.HubDegreeThreshold)
 	}
 	eopts := engine.Options{
 		Kernel:    opts.Intersection.kind(),
@@ -623,6 +654,22 @@ func sizeWorkers(workers int, g *Graph, p *Pattern, lim *arena.Limiter, degradat
 		workers = fit
 	}
 	return workers, degradations, nil
+}
+
+// PlanKey returns the canonical key of the plan the optimizer would
+// run for (g, p, opts): pattern adjacency, enumeration order, execution
+// order, COMP operands, and symmetry constraints — everything that
+// determines the search tree walked, and nothing cosmetic. Two queries
+// with equal plan keys on the same graph walk identical trees and
+// produce identical deterministic counters, which is what makes the key
+// (together with Graph.Fingerprint and the option set) a sound result
+// cache key; see cmd/lightd.
+func PlanKey(g *Graph, p *Pattern, opts Options) (string, error) {
+	pl, err := preparePlan(g, p, opts)
+	if err != nil {
+		return "", err
+	}
+	return pl.CompatKey(), nil
 }
 
 // Explain returns a human-readable rendering of the plan the optimizer

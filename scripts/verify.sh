@@ -37,11 +37,17 @@ go test -race "${SHORT[@]}" ./internal/lint/...
 echo "==> go test -count=1 -shuffle=on ./..."
 go test -count=1 -shuffle=on "${SHORT[@]}" ./...
 
-echo "==> go test -race (parallel, engine, lanes, metrics, admission incl. soak)"
+echo "==> go test -race (parallel, engine, lanes, metrics, admission, server incl. soaks)"
 # Explicit -timeout: under -race these are the slowest steps, and a hang
 # should fail with goroutine dumps inside the CI job budget, not at it.
 go test -race -timeout 10m "${SHORT[@]}" \
-    ./internal/parallel/... ./internal/engine/... ./internal/lanes/... ./internal/metrics/... ./internal/admission/...
+    ./internal/parallel/... ./internal/engine/... ./internal/lanes/... ./internal/metrics/... ./internal/admission/... ./internal/server/...
+
+echo "==> go test -race hub-index regression (concurrent queries sharing one Graph)"
+go test -race -timeout 5m -run 'TestConcurrentQueriesHubThreshold|TestHubIndexOneBuildAcrossQueries' .
+
+echo "==> lightd smoke: boot the daemon, load a graph, count + enumerate + batch over HTTP"
+go run ./cmd/lightd -smoke
 
 echo "==> chaos: go test -race -tags faultinject"
 go build -tags faultinject ./...
