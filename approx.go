@@ -1,8 +1,18 @@
 package light
 
-import "light/internal/approx"
+import (
+	"errors"
 
-// approxCount adapts the internal estimator to the public types.
+	"light/internal/approx"
+)
+
+// approxCount adapts the internal estimator to the public types. The
+// estimator walks the raw CSR, so pending edge deltas must be compacted
+// first; silently sampling the stale base would bias the estimate.
 func approxCount(g *Graph, p *Pattern, samples int, seed int64) (approx.Result, error) {
-	return approx.Count(g.g, p.p, samples, seed)
+	st := g.snap()
+	if st.ov != nil {
+		return approx.Result{}, errors.New("light: ApproxCount with pending edge deltas; call Compact first")
+	}
+	return approx.Count(st.base, p.p, samples, seed)
 }

@@ -95,6 +95,10 @@ func CountBatchContext(ctx context.Context, g *Graph, queries []BatchQuery, opts
 	if len(queries) == 0 {
 		return bres, nil
 	}
+	st, err := g.resolveState(opts.Snapshot)
+	if err != nil {
+		return bres, err
+	}
 
 	// Compile one plan per query; identical patterns compile to
 	// identical plans and group automatically by compatibility key.
@@ -105,7 +109,7 @@ func CountBatchContext(ctx context.Context, g *Graph, queries []BatchQuery, opts
 		if q.Pattern == nil {
 			return bres, fmt.Errorf("light: batch query %d has no pattern", i)
 		}
-		pl, err := preparePlan(g, q.Pattern, opts)
+		pl, err := preparePlan(st, q.Pattern, opts)
 		if err != nil {
 			return bres, fmt.Errorf("light: batch query %d (%s): %w", i, q.Pattern.Name(), err)
 		}
@@ -127,7 +131,7 @@ func CountBatchContext(ctx context.Context, g *Graph, queries []BatchQuery, opts
 	if opts.HubDegreeThreshold > 0 {
 		// Same first-wins preparation as single-query runs: one build,
 		// shared by every concurrent query on this graph.
-		g.g.EnsureHubIndex(opts.HubDegreeThreshold)
+		st.base.EnsureHubIndex(opts.HubDegreeThreshold)
 	}
 
 	batchRec := metrics.NewRecorder()
@@ -136,6 +140,7 @@ func CountBatchContext(ctx context.Context, g *Graph, queries []BatchQuery, opts
 			Kernel:    opts.Intersection.kind(),
 			TimeLimit: opts.TimeLimit,
 			Metrics:   batchRec,
+			Overlay:   st.ov,
 		},
 		Workers:   opts.Workers,
 		Recorders: recs,
@@ -171,14 +176,13 @@ func CountBatchContext(ctx context.Context, g *Graph, queries []BatchQuery, opts
 	runLim := arena.NewLimiter(opts.MemoryBudget, govLim)
 	defer runLim.ReleaseAll()
 	lopts.MemLimiter = runLim
-	var err error
-	lopts.Workers, degradations, err = sizeBatchWorkers(lopts.Workers, g, maxPatternVerts, runLim, degradations)
+	lopts.Workers, degradations, err = sizeBatchWorkers(lopts.Workers, st.maxDegree(), maxPatternVerts, runLim, degradations)
 	if err != nil {
 		return bres, err
 	}
 	lopts.Gate.ReleaseTo(lopts.Workers)
 
-	lres, err := lanes.Run(ctx, g.g, lq, lopts)
+	lres, err := lanes.Run(ctx, st.base, lq, lopts)
 	bres.Duration = time.Since(start)
 	if n := runLim.TightGrows(); n > 0 {
 		degradations = append(degradations, fmt.Sprintf(
@@ -212,6 +216,8 @@ func CountBatchContext(ctx context.Context, g *Graph, queries []BatchQuery, opts
 		r.Order = make([]int, len(lq[i].Plan.Pi))
 		copy(r.Order, lq[i].Plan.Pi)
 		r.Report = newRunReport(recs[i], opts, lres.Workers, bres.Duration, lres.CandidateMemBytes, nil, nil)
+		r.Report.DeltaEdges = st.deltaEdges()
+		r.Report.SnapshotGen = st.gen
 		bres.Queries[i] = r
 	}
 	return bres, mapErr(err)
@@ -219,13 +225,13 @@ func CountBatchContext(ctx context.Context, g *Graph, queries []BatchQuery, opts
 
 // sizeBatchWorkers is sizeWorkers for a batch: the per-worker
 // footprint estimate uses the largest pattern any group runs.
-func sizeBatchWorkers(workers int, g *Graph, maxPatternVerts int, lim *arena.Limiter, degradations []string) (int, []string, error) {
+func sizeBatchWorkers(workers, maxDegree, maxPatternVerts int, lim *arena.Limiter, degradations []string) (int, []string, error) {
 	head := lim.Headroom()
 	if head < 0 {
 		return workers, degradations, nil
 	}
 	allocs := maxPatternVerts + 1
-	tightEst := arena.EstimateBytes(allocs, g.MaxDegree(), true)
+	tightEst := arena.EstimateBytes(allocs, maxDegree, true)
 	if tightEst <= 0 || int64(workers)*tightEst <= head {
 		return workers, degradations, nil
 	}

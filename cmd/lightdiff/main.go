@@ -4,10 +4,12 @@
 // reference, the BFS-join and worst-case-optimal baselines, and the
 // LIGHT engine serial + parallel under every scheduler, kernel,
 // TailCount and DegreeFilter combination, plus a kill-and-resume
-// checkpoint round-trip and a lane-batched pass (root-window and
-// mixed-spec batches, per-lane counters vs sequential references). On a
-// discrepancy it shrinks the case to a minimal repro, prints it as a
-// ready-to-paste Go test, and exits 1.
+// checkpoint round-trip, a lane-batched pass (root-window and
+// mixed-spec batches, per-lane counters vs sequential references), and
+// an edge-delta pass (a seed-derived mutation batch applied
+// copy-on-write, checked against a fresh CSR rebuild and the CountDelta
+// identity). On a discrepancy it shrinks the case to a minimal repro,
+// prints it as a ready-to-paste Go test, and exits 1.
 //
 // Usage:
 //
@@ -43,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers  = fs.Int("workers", 3, "workers for the parallel oracle runs")
 		maxEmb   = fs.Uint64("max-embeddings", 300000, "brute-force reference cap; larger cases are skipped")
 		laneOrc  = fs.Bool("lanes", true, "run the lane-batch oracle stage even with -quick")
+		deltaOrc = fs.Bool("delta", true, "run the edge-delta oracle stage even with -quick")
 		verbose  = fs.Bool("v", false, "print one line per case")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,7 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	cfg := diffcheck.Config{Quick: *quick, Workers: *workers, MaxEmbeddings: *maxEmb, Lanes: *laneOrc}
+	cfg := diffcheck.Config{Quick: *quick, Workers: *workers, MaxEmbeddings: *maxEmb, Lanes: *laneOrc, Delta: *deltaOrc}
 
 	start := time.Now()
 	executed, skipped, checks := 0, 0, 0

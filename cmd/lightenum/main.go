@@ -11,9 +11,17 @@
 // is interrupted (Ctrl-C, SIGTERM, timeout), re-running with -resume
 // continues from the saved state and reports the combined total.
 //
+// With -apply, an edge-update file is applied copy-on-write before the
+// run: one update per line, "+ u v" adds an edge, "- u v" removes one,
+// and a bare "u v" adds ('#'/'%' start comments). Vertex IDs use the
+// loaded graph's numbering — the same IDs -print shows. Adding -delta
+// also counts just the match delta the batch caused (gained, lost, net)
+// before the full post-update count.
+//
 // The graph may be an edge-list file (.txt), a binary CSR file written
-// by gengraph (.csr), or the name of a built-in synthetic dataset
-// (yt-s, eu-s, lj-s, ot-s, uk-s, fs-s — optionally with -scale).
+// by gengraph (.csr, optionally gzipped), or the name of a built-in
+// synthetic dataset (yt-s, eu-s, lj-s, ot-s, uk-s, fs-s — optionally
+// with -scale).
 package main
 
 import (
@@ -56,6 +64,8 @@ func main() {
 	memBudget := flag.String("mem-budget", "", "cap candidate-arena memory (bytes, or with K/M/G suffix); degrades gracefully, exits 5 when exceeded")
 	admitTimeout := flag.Duration("admission-timeout", 0, "fail fast (exit 4) if a worker slot is not granted within this long (runs under a process governor)")
 	batch := flag.Bool("batch", false, "run the whole P1..P7 catalog as one bit-parallel lane batch (ignores -pattern)")
+	applyPath := flag.String("apply", "", "apply an edge-update file ('+ u v' adds, '- u v' removes, bare 'u v' adds) before running")
+	deltaCount := flag.Bool("delta", false, "with -apply: also count only the match delta the update batch caused")
 	flag.Parse()
 
 	g, err := loadGraph(*graphArg, *scale)
@@ -92,6 +102,26 @@ func main() {
 		opts.Governor = light.NewGovernor(light.GovernorConfig{})
 	}
 
+	if *deltaCount && *applyPath == "" {
+		fatal(errors.New("-delta requires -apply"))
+	}
+	if *deltaCount && *batch {
+		fatal(errors.New("-delta is incompatible with -batch (delta counting needs one pattern)"))
+	}
+	var from, to *light.Snapshot
+	if *applyPath != "" {
+		add, rem, err := readEdgeUpdates(*applyPath)
+		if err != nil {
+			fatal(err)
+		}
+		from = g.Snapshot()
+		if to, err = g.ApplyEdges(add, rem); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("applied:    +%d/-%d update(s) from %s -> generation %d, %d delta edge(s)\n",
+			len(add), len(rem), *applyPath, to.Generation(), to.DeltaEdges())
+	}
+
 	if *batch {
 		fmt.Printf("data graph: %v\n", g)
 		runBatch(g, opts, *stats)
@@ -99,6 +129,20 @@ func main() {
 	}
 
 	fmt.Printf("data graph: %v\npattern:    %v\n", g, p)
+
+	if *deltaCount {
+		// Checkpoint/resume describe the full enumeration below, not the
+		// delta pass, which runs on the overlay and cannot checkpoint.
+		dopts := opts
+		dopts.CheckpointPath, dopts.ResumeFrom = "", ""
+		dr, err := light.CountDelta(g, p, from, to, dopts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("delta:      gained %d, lost %d, net %+d (generation %d -> %d, %v)\n",
+			dr.Gained, dr.Lost, dr.Net, dr.FromGeneration, dr.ToGeneration,
+			dr.Duration.Round(time.Microsecond))
+	}
 
 	if *explain {
 		text, err := light.Explain(g, p, opts)
@@ -343,8 +387,55 @@ func atomicWriter(path string) (*bufio.Writer, func() error, error) {
 	return bw, commit, nil
 }
 
+// readEdgeUpdates parses an edge-update file: one update per line,
+// "+ u v" adds an edge, "- u v" removes one, a bare "u v" adds; '#' or
+// '%' start comment lines. IDs are in the loaded graph's numbering.
+func readEdgeUpdates(path string) (add, rem [][2]light.VertexID, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		op := "+"
+		if fields[0] == "+" || fields[0] == "-" {
+			op, fields = fields[0], fields[1:]
+		}
+		if len(fields) != 2 {
+			return nil, nil, fmt.Errorf("%s: line %d: want '[+|-] u v', got %q", path, lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: line %d: bad vertex %q: %v", path, lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: line %d: bad vertex %q: %v", path, lineNo, fields[1], err)
+		}
+		e := [2]light.VertexID{light.VertexID(u), light.VertexID(v)} //lightvet:ignore indexsafety -- ParseUint bitSize 32 bounds both values
+		if op == "-" {
+			rem = append(rem, e)
+		} else {
+			add = append(add, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return add, rem, nil
+}
+
 func loadGraph(arg string, scale int) (*light.Graph, error) {
-	if strings.HasSuffix(arg, ".csr") {
+	if strings.HasSuffix(arg, ".csr") || strings.HasSuffix(arg, ".csr.gz") {
 		g, err := graph.LoadCSR(arg)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,115 @@
+package light
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCountDeltaIdentity checks the delta-counting identity
+// count(to) == count(from) + Net over random mutation batches, in both
+// snapshot orders, with one and several workers.
+func TestCountDeltaIdentity(t *testing.T) {
+	pats := []string{"triangle", "path3", "square"}
+	g := GenerateBarabasiAlbert(100, 3, 13)
+	rng := rand.New(rand.NewSource(17))
+	for round := 0; round < 5; round++ {
+		from := g.Snapshot()
+		n := g.NumVertices()
+		var add, rem [][2]VertexID
+		for i := 0; i < 6; i++ {
+			u, v := VertexID(rng.Intn(n+2)), VertexID(rng.Intn(n+2))
+			if u == v {
+				continue
+			}
+			if rng.Intn(3) == 0 {
+				rem = append(rem, [2]VertexID{u, v})
+			} else {
+				add = append(add, [2]VertexID{u, v})
+			}
+		}
+		to, err := g.ApplyEdges(add, rem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round == 2 {
+			// Exercise the cross-compaction Diff path too.
+			if to, err = g.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, name := range pats {
+			p, err := PatternByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cFrom, err := Count(g, p, Options{Snapshot: from})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cTo, err := Count(g, p, Options{Snapshot: to})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 3} {
+				dr, err := CountDelta(g, p, from, to, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if int64(cTo.Matches) != int64(cFrom.Matches)+dr.Net {
+					t.Fatalf("round %d %s workers %d: count(to)=%d, count(from)=%d + net %d (gained %d, lost %d)",
+						round, name, workers, cTo.Matches, cFrom.Matches, dr.Net, dr.Gained, dr.Lost)
+				}
+				// Reversed snapshots negate the delta.
+				rev, err := CountDelta(g, p, to, from, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rev.Net != -dr.Net || rev.Gained != dr.Lost || rev.Lost != dr.Gained {
+					t.Fatalf("round %d %s: reversed delta (net %d, gained %d, lost %d) does not mirror (net %d, gained %d, lost %d)",
+						round, name, rev.Net, rev.Gained, rev.Lost, dr.Net, dr.Gained, dr.Lost)
+				}
+			}
+		}
+	}
+}
+
+func TestCountDeltaIdenticalSnapshotsIsZero(t *testing.T) {
+	g := GenerateGrid(5, 5)
+	p, err := PatternByName("path3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Snapshot()
+	dr, err := CountDelta(g, p, s, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Net != 0 || dr.Gained != 0 || dr.Lost != 0 || dr.AddedEdges != 0 || dr.RemovedEdges != 0 {
+		t.Fatalf("identical snapshots produced nonzero delta: %+v", dr)
+	}
+}
+
+func TestCountDeltaRejectsBadOptions(t *testing.T) {
+	g := GenerateGrid(4, 4)
+	p, err := PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Snapshot()
+	if _, err := CountDelta(g, p, nil, s, Options{}); err == nil {
+		t.Fatal("accepted nil from-snapshot")
+	}
+	other := GenerateGrid(4, 4)
+	if _, err := CountDelta(g, p, other.Snapshot(), s, Options{}); err == nil {
+		t.Fatal("accepted a snapshot from a different Graph")
+	}
+	if _, err := CountDelta(g, p, s, s, Options{TailCount: true}); err == nil {
+		t.Fatal("accepted TailCount")
+	}
+	if _, err := CountDelta(g, p, s, s, Options{Snapshot: s}); err == nil {
+		t.Fatal("accepted Options.Snapshot")
+	}
+	if _, err := CountDelta(g, p, s, s, Options{CheckpointPath: "x"}); err == nil {
+		t.Fatal("accepted checkpointing")
+	}
+}

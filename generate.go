@@ -10,27 +10,27 @@ import "light/internal/gen"
 // vertices with k edges per new vertex — a power-law degree distribution
 // like social networks.
 func GenerateBarabasiAlbert(n, k int, seed int64) *Graph {
-	return &Graph{g: gen.BarabasiAlbert(n, k, seed)}
+	return newGraph(gen.BarabasiAlbert(n, k, seed), nil)
 }
 
 // GenerateErdosRenyi returns G(n, m): m uniform random edges on n
 // vertices.
 func GenerateErdosRenyi(n, m int, seed int64) *Graph {
-	return &Graph{g: gen.ErdosRenyi(n, m, seed)}
+	return newGraph(gen.ErdosRenyi(n, m, seed), nil)
 }
 
 // GenerateRMAT returns an R-MAT graph with 2^scale vertices and about
 // edgeFactor·2^scale edges — a skewed, web-like degree distribution.
 func GenerateRMAT(scale, edgeFactor int, seed int64) *Graph {
-	return &Graph{g: gen.RMAT(scale, edgeFactor, seed)}
+	return newGraph(gen.RMAT(scale, edgeFactor, seed), nil)
 }
 
 // GenerateComplete returns the complete graph K_n.
 func GenerateComplete(n int) *Graph {
-	return &Graph{g: gen.Complete(n)}
+	return newGraph(gen.Complete(n), nil)
 }
 
 // GenerateGrid returns the rows×cols 2D grid graph.
 func GenerateGrid(rows, cols int) *Graph {
-	return &Graph{g: gen.Grid(rows, cols)}
+	return newGraph(gen.Grid(rows, cols), nil)
 }

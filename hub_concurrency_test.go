@@ -65,7 +65,7 @@ func TestHubIndexOneBuildAcrossQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := g.g.HubBuilds() // construction's auto-build
+	base := g.snap().base.HubBuilds() // construction's auto-build
 
 	const queries = 12
 	var wg sync.WaitGroup
@@ -97,7 +97,7 @@ func TestHubIndexOneBuildAcrossQueries(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := g.g.HubBuilds(); got != base+1 {
+	if got := g.snap().base.HubBuilds(); got != base+1 {
 		t.Errorf("HubBuilds = %d after %d queries, want %d (one shared build)", got, queries, base+1)
 	}
 
@@ -107,7 +107,7 @@ func TestHubIndexOneBuildAcrossQueries(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := g.g.HubBuilds(); got != base+1 {
+	if got := g.snap().base.HubBuilds(); got != base+1 {
 		t.Errorf("HubBuilds = %d after sequential repeats, want %d", got, base+1)
 	}
 }

@@ -1,0 +1,328 @@
+package delta
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"light/internal/graph"
+)
+
+// buildGraph makes a CSR graph from an edge list over n vertices.
+func buildGraph(t *testing.T, n int, edges []Edge) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// edgeSet flattens a view (base plus optional overlay) into a canonical
+// edge set for comparison.
+func edgeSet(base *graph.Graph, ov *Overlay) map[Edge]bool {
+	out := map[Edge]bool{}
+	n := viewN(base, ov)
+	w := viewOf(base, ov)
+	for v := 0; v < n; v++ {
+		for _, u := range w.neighbors(graph.VertexID(v), n) {
+			out[Edge{graph.VertexID(v), u}.Canon()] = true
+		}
+	}
+	return out
+}
+
+func TestApplyBasic(t *testing.T) {
+	// Path 0-1-2 plus isolated 3.
+	g := buildGraph(t, 4, []Edge{{0, 1}, {1, 2}})
+	o, err := Apply(g, nil, []Edge{{2, 3}, {0, 2}}, []Edge{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := o.NumEdges(), int64(3); got != want {
+		t.Fatalf("NumEdges = %d, want %d", got, want)
+	}
+	if o.NumVertices() != 4 {
+		t.Fatalf("NumVertices = %d, want 4", o.NumVertices())
+	}
+	checks := []struct {
+		u, v graph.VertexID
+		want bool
+	}{
+		{0, 1, false}, {1, 2, true}, {2, 3, true}, {0, 2, true}, {1, 3, false},
+	}
+	for _, c := range checks {
+		if got := o.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+	if got := o.Neighbors(1); !reflect.DeepEqual(got, []graph.VertexID{2}) {
+		t.Errorf("Neighbors(1) = %v, want [2]", got)
+	}
+	if o.DeltaEdges() != 3 {
+		t.Errorf("DeltaEdges = %d, want 3", o.DeltaEdges())
+	}
+	if o.Touched(0) != true || o.Touched(3) != true {
+		t.Error("endpoints of changed edges must be touched")
+	}
+}
+
+func TestApplyNoOpSharesPrev(t *testing.T) {
+	g := buildGraph(t, 3, []Edge{{0, 1}})
+	// Inserting an existing edge and deleting an absent one is a no-op.
+	o, err := Apply(g, nil, []Edge{{1, 0}}, []Edge{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil {
+		t.Fatalf("no-op Apply over a clean base returned %v, want nil", o)
+	}
+	o1, err := Apply(g, nil, []Edge{{1, 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Apply(g, o1, []Edge{{2, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2 != o1 {
+		t.Fatal("no-op Apply over an overlay must return the same overlay")
+	}
+}
+
+func TestApplyDeleteWinsWithinBatch(t *testing.T) {
+	g := buildGraph(t, 3, []Edge{{0, 1}})
+	o, err := Apply(g, nil, []Edge{{1, 2}}, []Edge{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil && o.HasEdge(1, 2) {
+		t.Fatal("edge both inserted and deleted in one batch must not exist")
+	}
+}
+
+func TestApplyCopyOnWriteIsolation(t *testing.T) {
+	g := buildGraph(t, 4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	o1, err := Apply(g, nil, []Edge{{0, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := edgeSet(g, o1)
+	n1 := append([]graph.VertexID(nil), o1.Neighbors(0)...)
+	o2, err := Apply(g, o1, []Edge{{0, 2}}, []Edge{{0, 3}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// o1's view must be untouched by the second Apply.
+	if got := edgeSet(g, o1); !reflect.DeepEqual(got, before) {
+		t.Fatalf("prev overlay mutated: %v -> %v", before, got)
+	}
+	if got := o1.Neighbors(0); !reflect.DeepEqual(got, n1) {
+		t.Fatalf("prev overlay Neighbors(0) mutated: %v -> %v", n1, got)
+	}
+	if o2.HasEdge(0, 3) || !o2.HasEdge(0, 2) || o2.HasEdge(1, 2) {
+		t.Fatal("second overlay has wrong view")
+	}
+	// Cumulative sets: base had {01,12,23}; view2 is {01,23,02}.
+	if want := []Edge{{0, 2}}; !reflect.DeepEqual(o2.Added(), want) {
+		t.Errorf("Added = %v, want %v", o2.Added(), want)
+	}
+	if want := []Edge{{1, 2}}; !reflect.DeepEqual(o2.Removed(), want) {
+		t.Errorf("Removed = %v, want %v", o2.Removed(), want)
+	}
+}
+
+func TestApplyRejectsForeignOverlay(t *testing.T) {
+	g1 := buildGraph(t, 3, []Edge{{0, 1}})
+	g2 := buildGraph(t, 3, []Edge{{0, 2}})
+	o, err := Apply(g1, nil, []Edge{{1, 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(g2, o, []Edge{{0, 1}}, nil); err == nil {
+		t.Fatal("Apply accepted an overlay built over a different base")
+	}
+}
+
+func TestFingerprintDistinguishesDeltas(t *testing.T) {
+	g := buildGraph(t, 4, []Edge{{0, 1}, {1, 2}})
+	o1, _ := Apply(g, nil, []Edge{{2, 3}}, nil)
+	o2, _ := Apply(g, nil, []Edge{{0, 3}}, nil)
+	o3, _ := Apply(g, nil, nil, []Edge{{0, 1}})
+	fps := map[uint64]string{g.Fingerprint(): "base"}
+	for name, o := range map[string]*Overlay{"o1": o1, "o2": o2, "o3": o3} {
+		fp := o.Fingerprint()
+		if prev, dup := fps[fp]; dup {
+			t.Fatalf("fingerprint collision between %s and %s", prev, name)
+		}
+		fps[fp] = name
+	}
+	// Same deltas → same fingerprint.
+	o1b, _ := Apply(g, nil, []Edge{{3, 2}}, nil)
+	if o1.Fingerprint() != o1b.Fingerprint() {
+		t.Fatal("identical deltas must fingerprint identically")
+	}
+}
+
+func TestCompactEquivalence(t *testing.T) {
+	g := buildGraph(t, 5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}})
+	o, err := Apply(g, nil, []Edge{{0, 2}, {1, 6}}, []Edge{{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := Compact(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cg.NumVertices() != o.NumVertices() || cg.NumEdges() != o.NumEdges() {
+		t.Fatalf("compacted N=%d M=%d, overlay N=%d M=%d",
+			cg.NumVertices(), cg.NumEdges(), o.NumVertices(), o.NumEdges())
+	}
+	// IDs must be stable: identical adjacency, not merely isomorphic.
+	for v := 0; v < o.NumVertices(); v++ {
+		want := o.Neighbors(graph.VertexID(v))
+		got := cg.Neighbors(graph.VertexID(v))
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Neighbors(%d): compacted %v, overlay %v", v, got, want)
+		}
+	}
+	if cg.Fingerprint() == g.Fingerprint() {
+		t.Fatal("compaction of a non-empty overlay must change the fingerprint")
+	}
+}
+
+func TestDiffSameBaseAndAcrossCompaction(t *testing.T) {
+	g := buildGraph(t, 4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	o1, _ := Apply(g, nil, []Edge{{0, 2}}, []Edge{{2, 3}})
+	o2, _ := Apply(g, o1, []Edge{{2, 3}, {0, 3}}, []Edge{{0, 1}})
+
+	add, rem := Diff(g, nil, g, o1)
+	if want := []Edge{{0, 2}}; !reflect.DeepEqual(add, want) {
+		t.Errorf("add = %v, want %v", add, want)
+	}
+	if want := []Edge{{2, 3}}; !reflect.DeepEqual(rem, want) {
+		t.Errorf("rem = %v, want %v", rem, want)
+	}
+
+	add, rem = Diff(g, o1, g, o2)
+	if want := []Edge{{0, 3}, {2, 3}}; !reflect.DeepEqual(add, want) {
+		t.Errorf("o1->o2 add = %v, want %v", add, want)
+	}
+	if want := []Edge{{0, 1}}; !reflect.DeepEqual(rem, want) {
+		t.Errorf("o1->o2 rem = %v, want %v", rem, want)
+	}
+
+	// Across compaction: diff from the o1 view to the compacted o2 view
+	// must agree with the same-base diff.
+	cg, err := Compact(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addX, remX := Diff(g, o1, cg, nil)
+	if !reflect.DeepEqual(addX, add) || !reflect.DeepEqual(remX, rem) {
+		t.Errorf("cross-compaction diff (%v, %v), want (%v, %v)", addX, remX, add, rem)
+	}
+}
+
+// TestApplyMatchesBuilderReference drives random batches through Apply
+// and checks the overlay view, edge counts, cumulative sets, and
+// compaction against a from-scratch Builder rebuild of the same edge
+// set.
+func TestApplyMatchesBuilderReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(12)
+		// Random base.
+		var base []Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					base = append(base, Edge{graph.VertexID(u), graph.VertexID(v)})
+				}
+			}
+		}
+		g := buildGraph(t, n, base)
+		want := edgeSet(g, nil)
+
+		var ov *Overlay
+		for round := 0; round < 4; round++ {
+			var add, rem []Edge
+			for i := 0; i < 1+rng.Intn(5); i++ {
+				e := Edge{graph.VertexID(rng.Intn(n + 2)), graph.VertexID(rng.Intn(n + 2))}.Canon()
+				if e.U == e.V {
+					continue
+				}
+				if rng.Intn(2) == 0 {
+					add = append(add, e)
+					delete(want, e) // placeholder; fixed below
+					want[e] = true
+				} else {
+					rem = append(rem, e)
+					delete(want, e)
+				}
+			}
+			// Deletions win within a batch.
+			for _, e := range rem {
+				delete(want, e)
+			}
+			next, err := Apply(g, ov, add, rem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ov = next
+			got := edgeSet(g, ov)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d round %d: view %v, want %v (add %v rem %v)",
+					trial, round, got, want, add, rem)
+			}
+			if ov != nil {
+				if int64(len(got)) != ov.NumEdges() {
+					t.Fatalf("NumEdges = %d, view has %d", ov.NumEdges(), len(got))
+				}
+				// Cumulative sets replay onto the base exactly.
+				replay := edgeSet(g, nil)
+				for _, e := range ov.Added() {
+					replay[e] = true
+				}
+				for _, e := range ov.Removed() {
+					delete(replay, e)
+				}
+				if !reflect.DeepEqual(replay, got) {
+					t.Fatalf("cumulative replay %v, view %v", replay, got)
+				}
+				// Max-degree bound holds for every vertex.
+				for v := 0; v < ov.NumVertices(); v++ {
+					if d := ov.Degree(graph.VertexID(v)); d > ov.MaxDegree() {
+						t.Fatalf("Degree(%d)=%d exceeds MaxDegree bound %d", v, d, ov.MaxDegree())
+					}
+				}
+			}
+		}
+		if ov != nil {
+			cg, err := Compact(ov)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := edgeSet(cg, nil); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: compacted view %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestFromCSRRejectsCorruptInput(t *testing.T) {
+	// Asymmetric edge: 0->1 without 1->0.
+	if _, err := graph.FromCSR([]int64{0, 1, 1}, []graph.VertexID{1}); err == nil {
+		t.Fatal("FromCSR accepted an asymmetric edge")
+	}
+	// Non-monotone offsets.
+	if _, err := graph.FromCSR([]int64{0, 2, 1}, []graph.VertexID{1, 1}); err == nil {
+		t.Fatal("FromCSR accepted non-monotone offsets")
+	}
+}

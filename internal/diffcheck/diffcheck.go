@@ -37,6 +37,11 @@ type Config struct {
 	// batch plus a mixed-spec batch, per-lane counters vs sequential
 	// references) even in Quick mode; full mode always runs it.
 	Lanes bool
+	// Delta forces the edge-delta oracle stage (a seed-derived mutation
+	// batch applied copy-on-write, checked against a fresh CSR rebuild
+	// and the CountDelta identity) even in Quick mode; full mode always
+	// runs it.
+	Delta bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -318,6 +323,17 @@ func RunCase(c Case, cfg Config) (Outcome, *Discrepancy) {
 			return out, d
 		}
 		out.Checks += 2
+	}
+
+	// Edge-delta oracle: the same case mutated through the public
+	// copy-on-write API, with the overlay count checked against a fresh
+	// rebuild and CountDelta checked against the counting identity.
+	if cfg.Delta || !cfg.Quick {
+		if d := checkDelta(c, want, cfg); d != nil {
+			out.Checks++
+			return out, d
+		}
+		out.Checks += 5
 	}
 
 	// Enumerate mode: the emitted mapping set must be exactly the

@@ -18,7 +18,7 @@ func FuzzDifferential(f *testing.F) {
 		if !ok {
 			return
 		}
-		cfg := Config{Quick: true, MaxEmbeddings: 50000, Lanes: true}
+		cfg := Config{Quick: true, MaxEmbeddings: 50000, Lanes: true, Delta: true}
 		_, d := RunCase(c, cfg)
 		if d != nil {
 			t.Fatalf("discrepancy:\n%v\n\nminimal repro:\n%s", d, ReproTest(ShrinkDiscrepancy(d, cfg)))

@@ -62,6 +62,12 @@ func ShrinkDiscrepancy(d *Discrepancy, cfg Config) Case {
 	if quick.MaxEmbeddings == 0 || quick.MaxEmbeddings > 100000 {
 		quick.MaxEmbeddings = 100000
 	}
+	// A delta-stage discrepancy found in full mode (where the stage runs
+	// regardless of cfg.Delta) must stay reproducible under the quick
+	// matrix, or the shrinker would never see it fail.
+	if strings.HasPrefix(d.Stage, "delta/") {
+		quick.Delta = true
+	}
 	c := Shrink(d.Case, func(m Case) bool {
 		_, md := RunCase(m, quick)
 		return md != nil

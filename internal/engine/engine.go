@@ -18,6 +18,7 @@ import (
 
 	"light/internal/arena"
 	"light/internal/bitset"
+	"light/internal/delta"
 	"light/internal/graph"
 	"light/internal/intersect"
 	"light/internal/metrics"
@@ -135,6 +136,15 @@ type Options struct {
 	// private arena. The arena must not be shared between enumerators
 	// that run concurrently.
 	Arena *arena.Arena
+	// Overlay, when non-nil, is the copy-on-write edge-delta view the
+	// enumerator reads adjacency through instead of the raw CSR: touched
+	// vertices resolve to the overlay's merged lists, untouched vertices
+	// read the base graph directly, and hub-bitmap probes are suppressed
+	// for touched vertices (their base bitmaps are stale). The overlay's
+	// base must be the graph passed to New. When nil — the common case —
+	// every adjacency read takes the direct CSR path at the cost of one
+	// nil check.
+	Overlay *delta.Overlay
 	// Lanes, when non-nil, switches the enumerator into bit-parallel
 	// lane mode: it walks the plan's search tree once for the whole
 	// batch, masking lanes off as their per-query filters reject
@@ -211,6 +221,7 @@ type MatHook func(e *Enumerator, sigmaIdx int, candidates []graph.VertexID) int
 // Enumerator executes one plan on one graph.
 type Enumerator struct {
 	g    *graph.Graph
+	ov   *delta.Overlay // aliases opts.Overlay; nil = read the CSR directly
 	pl   *plan.Plan
 	opts Options
 
@@ -288,12 +299,20 @@ func New(g *graph.Graph, pl *plan.Plan, opts Options) *Enumerator {
 	if ar == nil {
 		ar = arena.New()
 	}
+	if opts.Overlay != nil && opts.Overlay.Base() != g {
+		panic("engine: Options.Overlay was built over a different base graph")
+	}
 	var laneBuf []LaneCounts
 	if opts.Lanes != nil {
 		laneBuf = make([]LaneCounts, opts.Lanes.NumLanes())
 	}
+	dmax := g.MaxDegree()
+	if opts.Overlay != nil {
+		dmax = opts.Overlay.MaxDegree()
+	}
 	return &Enumerator{
 		g:          g,
+		ov:         opts.Overlay,
 		pl:         pl,
 		opts:       opts,
 		assigned:   make([]graph.VertexID, n),
@@ -302,11 +321,53 @@ func New(g *graph.Graph, pl *plan.Plan, opts Options) *Enumerator {
 		setsTmp:    make([][]graph.VertexID, 0, n),
 		bmsTmp:     make([]*bitset.Bitmap, 0, n),
 		ar:         ar,
-		dmax:       g.MaxDegree(),
+		dmax:       dmax,
 		useBitmaps: opts.Kernel.UsesBitmaps(),
 		lanes:      opts.Lanes,
 		laneBuf:    laneBuf,
 	}
+}
+
+// numVertices, degree, neighbors, and hubBitmap are the enumerator's
+// adjacency reads: overlay-aware when Options.Overlay is set, one nil
+// check and a direct CSR call otherwise (the zero-cost fast path for
+// unmutated graphs).
+
+//light:hotpath
+func (e *Enumerator) numVertices() int {
+	if e.ov != nil {
+		return e.ov.NumVertices()
+	}
+	return e.g.NumVertices()
+}
+
+//light:hotpath
+func (e *Enumerator) degree(v graph.VertexID) int {
+	if e.ov != nil {
+		return e.ov.Degree(v)
+	}
+	return e.g.Degree(v)
+}
+
+//light:hotpath
+func (e *Enumerator) neighbors(v graph.VertexID) []graph.VertexID {
+	if e.ov != nil {
+		return e.ov.Neighbors(v)
+	}
+	return e.g.Neighbors(v)
+}
+
+// hubBitmap returns the hub bitmap usable for v's neighbor list, or nil.
+// A vertex the overlay touched must not probe its base bitmap — the
+// bitmap encodes the pre-mutation list and would silently corrupt
+// intersections — so touched vertices always fall back to list kernels.
+//
+//light:hotpath
+func (e *Enumerator) hubBitmap(v graph.VertexID) *bitset.Bitmap {
+	if e.ov != nil && e.ov.Touched(v) {
+		return nil
+	}
+	return e.g.HubBitmap(v)
 }
 
 // Plan returns the plan the enumerator executes.
@@ -327,7 +388,7 @@ func (e *Enumerator) CandidateMemoryBytes() int64 {
 // the combined result. visit may be nil for count-only runs.
 func (e *Enumerator) Run(visit VisitFunc) (Result, error) {
 	if e.allRoots == nil {
-		n := e.g.NumVertices()
+		n := e.numVertices()
 		e.allRoots = make([]graph.VertexID, n)
 		for i := range e.allRoots {
 			e.allRoots[i] = graph.VertexID(i)
@@ -358,7 +419,7 @@ func (e *Enumerator) RunRoots(roots []graph.VertexID, visit VisitFunc) (Result, 
 			continue
 		}
 		if e.lanes != nil {
-			m := e.lanes.RootMask(v) & e.lanes.MaskFor(rootVertex, v, e.g.Degree(v))
+			m := e.lanes.RootMask(v) & e.lanes.MaskFor(rootVertex, v, e.degree(v))
 			if m == 0 {
 				continue
 			}
@@ -647,7 +708,7 @@ func (e *Enumerator) computeShared(u int) bool {
 	if nOperands == 1 {
 		// Single operand: alias, zero intersections (the Fig 2b case).
 		if len(ops.K1) == 1 {
-			e.cand[u] = e.g.Neighbors(e.assigned[ops.K1[0]])
+			e.cand[u] = e.neighbors(e.assigned[ops.K1[0]])
 		} else {
 			e.cand[u] = e.cand[ops.K2[0]]
 		}
@@ -669,8 +730,8 @@ func (e *Enumerator) computeShared(u int) bool {
 		bms := e.bmsTmp[:0]
 		for _, w := range ops.K1 {
 			v := e.assigned[w]
-			sets = append(sets, e.g.Neighbors(v))
-			bms = append(bms, e.g.HubBitmap(v))
+			sets = append(sets, e.neighbors(v))
+			bms = append(bms, e.hubBitmap(v))
 		}
 		for _, w := range ops.K2 {
 			sets = append(sets, e.cand[w])
@@ -681,7 +742,7 @@ func (e *Enumerator) computeShared(u int) bool {
 		return n > 0
 	}
 	for _, w := range ops.K1 {
-		sets = append(sets, e.g.Neighbors(e.assigned[w]))
+		sets = append(sets, e.neighbors(e.assigned[w]))
 	}
 	for _, w := range ops.K2 {
 		sets = append(sets, e.cand[w])
@@ -759,7 +820,7 @@ func (e *Enumerator) matLoop(i int, candidates []graph.VertexID, checkHook bool)
 		if e.usedValue(v) {
 			continue
 		}
-		if minDeg > 0 && e.g.Degree(v) < minDeg {
+		if minDeg > 0 && e.degree(v) < minDeg {
 			continue
 		}
 		if e.opts.Filter != nil && !e.opts.Filter(u, v) {
@@ -770,7 +831,7 @@ func (e *Enumerator) matLoop(i int, candidates []graph.VertexID, checkHook bool)
 			// filters reject this assignment; if none survive, the
 			// whole subtree is dead for the batch. The parent's mask
 			// is restored after the recursion — cheaper than a frame.
-			m := e.alive & e.lanes.MaskFor(u, v, e.g.Degree(v))
+			m := e.alive & e.lanes.MaskFor(u, v, e.degree(v))
 			if m == 0 {
 				continue
 			}
@@ -818,7 +879,7 @@ func lowerBound(s []graph.VertexID, x int64) int {
 // bounds returns the open-below, open-above data-vertex id window
 // [lo, hi) implied by σ[i]'s symmetry-breaking constraints.
 func (e *Enumerator) bounds(i int) (lo, hi int64) {
-	lo, hi = 0, int64(e.g.NumVertices())
+	lo, hi = 0, int64(e.numVertices())
 	for _, c := range e.pl.MatConstraints[i] {
 		ov := int64(e.assigned[c.Other])
 		if c.Lower {

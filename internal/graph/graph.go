@@ -252,6 +252,27 @@ func (b *Builder) Build() *Graph {
 // graph (degree-then-ID order); see Reorder.
 func (b *Builder) BuildOrdered() *Graph { return Reorder(b.Build()) }
 
+// FromCSR constructs a graph directly from prebuilt CSR arrays,
+// taking ownership of both slices (callers must not modify them
+// afterwards). The arrays must satisfy the CSR invariants — offsets
+// monotone with offsets[0]==0 and offsets[N]==len(adj), neighbor lists
+// strictly sorted, no self-loops, every edge symmetric — and are fully
+// validated, so corrupt input errors instead of corrupting later
+// enumeration. Vertex IDs are preserved exactly as given (no degree
+// reordering): the delta compactor uses this to publish a fresh base
+// snapshot whose IDs remain stable across compaction.
+func FromCSR(offsets []int64, adj []VertexID) (*Graph, error) {
+	if len(offsets) == 0 {
+		offsets = []int64{0}
+	}
+	g := &Graph{offsets: offsets, adj: adj}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	g.finalize()
+	return g, nil
+}
+
 // FromAdjacency builds a graph directly from an adjacency list
 // representation (convenient in tests). Lists need not be sorted.
 func FromAdjacency(adj [][]VertexID) *Graph {

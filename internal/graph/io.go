@@ -239,14 +239,27 @@ func (g *Graph) SaveCSR(path string) error {
 	return cerr
 }
 
-// LoadCSR reads a binary CSR graph from path.
+// LoadCSR reads a binary CSR graph from path. Gzipped files are
+// transparently decompressed — detected by the gzip magic bytes, not
+// the file name, so both graph.csr.gz and oddly-named compressed
+// snapshots load.
 func LoadCSR(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	g, err := ReadCSR(f)
+	br := bufio.NewReader(f)
+	var r io.Reader = br
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	g, err := ReadCSR(r)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

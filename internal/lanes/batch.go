@@ -111,7 +111,13 @@ func Run(ctx context.Context, g *graph.Graph, queries []Query, opts Options) (Re
 		for lane, qi := range grp {
 			specs[lane] = queries[qi].Spec
 		}
-		set, err := NewSet(g.NumVertices(), specs)
+		// Root bitsets must span the queried view: an overlay can add
+		// vertices beyond the base CSR's count.
+		nv := g.NumVertices()
+		if opts.Engine.Overlay != nil {
+			nv = opts.Engine.Overlay.NumVertices()
+		}
+		set, err := NewSet(nv, specs)
 		if err != nil {
 			return res, err
 		}

@@ -208,6 +208,15 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 		// worse failure report than a plain error at the entry point.
 		return Result{}, fmt.Errorf("parallel: Engine.Delta is %d, must be non-negative", opts.Engine.Delta)
 	}
+	if opts.Engine.Overlay != nil && (opts.Checkpoint != nil || opts.Resume != nil) {
+		// Checkpoint fingerprints bind only the base graph's structure
+		// (supervise.Fingerprint hashes N/M/d_max + plan), so a pending
+		// edge delta would silently validate against a stale file; and a
+		// resumed frame's candidate sets were computed under whatever view
+		// the writer had. Snapshots must be compacted into a real CSR
+		// before they can checkpoint or resume.
+		return Result{}, errors.New("parallel: checkpoint/resume require a compacted snapshot; compact the pending edge deltas first")
+	}
 	opts = opts.withDefaults()
 	// Pin one absolute deadline for the whole run: workers process many
 	// chunks and frames, each of which restarts the engine's clock.
@@ -281,7 +290,13 @@ func RunContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, opts Options
 		}
 		p.roots = pendingRoots(g.NumVertices(), ck.Done)
 	} else {
+		// The root candidate set is every vertex of the queried view —
+		// overlay vertices included, so matches rooted at a newly inserted
+		// vertex are not lost.
 		n := g.NumVertices()
+		if opts.Engine.Overlay != nil {
+			n = opts.Engine.Overlay.NumVertices()
+		}
 		p.roots = make([]graph.VertexID, n)
 		for i := range p.roots {
 			p.roots[i] = graph.VertexID(i)

@@ -247,37 +247,105 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{"graphs": s.reg.List()})
 }
 
-// handleUnloadGraph removes a graph and invalidates its cache entries.
+// handleUnloadGraph removes a graph name. Cache entries are invalidated
+// only when the last name referencing the snapshot is unloaded:
+// load-once deduplication lets several names share one snapshot, and
+// their cache entries (keyed by the shared fingerprint) must survive an
+// alias being dropped.
 func (s *Server) handleUnloadGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	fp, ok := s.reg.Unload(name)
+	fp, lastRef, ok := s.reg.Unload(name)
 	if !ok {
 		s.writeError(w, http.StatusNotFound, "graph %q not loaded", name)
 		return
 	}
 	invalidated := 0
-	if s.cache != nil {
+	if s.cache != nil && lastRef {
 		invalidated = s.cache.InvalidateGraph(fp)
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"unloaded":    name,
 		"invalidated": invalidated,
+		"shared":      !lastRef,
+	})
+}
+
+// handleApplyEdges applies an edge batch to a registered graph and
+// publishes the new snapshot: earlier-started queries finish against
+// the view they pinned, later requests see (and cache under) the new
+// fingerprint. All registry names sharing the graph move together.
+func (s *Server) handleApplyEdges(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req struct {
+		// Add and Remove are undirected edge batches in the graph's
+		// result numbering; endpoints beyond the vertex count grow the
+		// graph. Compact folds all pending deltas into a fresh CSR after
+		// applying the batch.
+		Add     [][2]light.VertexID `json:"add,omitempty"`
+		Remove  [][2]light.VertexID `json:"remove,omitempty"`
+		Compact bool                `json:"compact,omitempty"`
+	}
+	if err := decodeRequest(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Add) == 0 && len(req.Remove) == 0 && !req.Compact {
+		s.writeError(w, http.StatusBadRequest, "empty edge batch (set add, remove, or compact)")
+		return
+	}
+	g, _, ok := s.reg.Get(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "graph %q not loaded", name)
+		return
+	}
+	oldFP := g.Fingerprint()
+	snap, err := g.ApplyEdges(req.Add, req.Remove)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "apply edges on %s: %v", name, err)
+		return
+	}
+	if req.Compact {
+		if snap, err = g.Compact(); err != nil {
+			s.writeError(w, http.StatusInternalServerError, "compacting %s: %v", name, err)
+			return
+		}
+	}
+	infos := s.reg.RefreshInfo(g)
+	// The pre-mutation snapshot is no longer reachable through any
+	// registry name (aliases share the mutable graph), so its cache
+	// entries are dead weight; reclaim them.
+	invalidated := 0
+	if s.cache != nil && snap.Fingerprint() != oldFP {
+		invalidated = s.cache.InvalidateGraph(oldFP)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"graph":       name,
+		"fingerprint": fmt.Sprintf("%016x", snap.Fingerprint()),
+		"generation":  snap.Generation(),
+		"delta_edges": snap.DeltaEdges(),
+		"vertices":    snap.NumVertices(),
+		"edges":       snap.NumEdges(),
+		"invalidated": invalidated,
+		"aliases":     len(infos),
 	})
 }
 
 // prepared is the common front half of the query endpoints: everything
-// resolved and validated, ready to run.
+// resolved and validated, ready to run. The pinned snapshot makes the
+// request atomic against concurrent edge batches: the run, the cache
+// key, and the stored fingerprint all describe the same view.
 type prepared struct {
 	g        *light.Graph
 	info     GraphInfo
 	p        *light.Pattern
 	opts     light.Options
+	snap     *light.Snapshot
 	cacheKey string // "" when uncacheable/disabled
 }
 
-// prepare resolves the request's graph, pattern, and options, and
-// composes the cache key (graph fingerprint | canonical plan key |
-// option set).
+// prepare resolves the request's graph, pattern, and options, pins the
+// graph's current snapshot, and composes the cache key (snapshot
+// fingerprint | canonical plan key | option set).
 func (s *Server) prepare(req *queryRequest, endpointKey string) (prepared, int, error) {
 	var pr prepared
 	if req.Graph == "" {
@@ -295,7 +363,9 @@ func (s *Server) prepare(req *queryRequest, endpointKey string) (prepared, int, 
 	if err != nil {
 		return pr, http.StatusBadRequest, err
 	}
-	pr = prepared{g: g, info: info, p: p, opts: opts}
+	snap := g.Snapshot()
+	opts.Snapshot = snap
+	pr = prepared{g: g, info: info, p: p, opts: opts, snap: snap}
 	if s.cache == nil {
 		return pr, 0, nil
 	}
@@ -303,7 +373,7 @@ func (s *Server) prepare(req *queryRequest, endpointKey string) (prepared, int, 
 	if err != nil {
 		return pr, http.StatusBadRequest, err
 	}
-	pr.cacheKey = fmt.Sprintf("%s|%s|%s|%s", endpointKey, info.Fingerprint, planKey, optKey)
+	pr.cacheKey = fmt.Sprintf("%s|%016x|%s|%s", endpointKey, snap.Fingerprint(), planKey, optKey)
 	return pr, 0, nil
 }
 
@@ -347,7 +417,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Report:     res.Report,
 	}
 	if pr.cacheKey != "" {
-		s.cache.Put(pr.cacheKey, pr.g.Fingerprint(), resp)
+		s.cache.Put(pr.cacheKey, pr.snap.Fingerprint(), resp)
 	}
 	s.served[epQuery].Add(1)
 	s.reports.add(ReportEntry{
@@ -511,7 +581,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "tail_count does not apply to /batch")
 		return
 	}
-	g, info, ok := s.reg.Get(req.Graph)
+	g, _, ok := s.reg.Get(req.Graph)
 	if !ok {
 		s.writeError(w, http.StatusNotFound, "graph %q not loaded", req.Graph)
 		return
@@ -521,10 +591,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Pin the snapshot so every query in the batch, the cache key, and
+	// the stored fingerprint describe one consistent view even while
+	// edge batches land concurrently.
+	snap := g.Snapshot()
+	opts.Snapshot = snap
 
 	queries := make([]light.BatchQuery, len(req.Queries))
 	keyParts := make([]string, 0, len(req.Queries)+2)
-	keyParts = append(keyParts, "batch|"+info.Fingerprint+"|"+optKey)
+	keyParts = append(keyParts, fmt.Sprintf("batch|%016x|%s", snap.Fingerprint(), optKey))
 	for i := range req.Queries {
 		bq := &req.Queries[i]
 		qr := queryRequest{Pattern: bq.Pattern, PatternGraph: bq.PatternGraph}
@@ -591,7 +666,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if cacheKey != "" {
-		s.cache.Put(cacheKey, g.Fingerprint(), resp)
+		s.cache.Put(cacheKey, snap.Fingerprint(), resp)
 	}
 	s.served[epBatch].Add(1)
 	last := len(bres.Queries) - 1

@@ -73,7 +73,7 @@ func (r *Registry) Load(name, path string) (GraphInfo, error) {
 		g   *light.Graph
 		err error
 	)
-	if strings.HasSuffix(path, ".csr") {
+	if strings.HasSuffix(path, ".csr") || strings.HasSuffix(path, ".csr.gz") {
 		g, err = light.LoadCSR(path)
 	} else {
 		g, err = light.LoadEdgeList(path)
@@ -93,9 +93,23 @@ func (r *Registry) Add(name string, g *light.Graph) (GraphInfo, error) {
 	return r.register(name, "", g)
 }
 
+// validName accepts exactly the documented safe charset: letters,
+// digits, dots, underscores, and dashes. Names appear verbatim in URL
+// paths (DELETE /graphs/{name}, POST /graphs/{name}/edges) and cache
+// keys, so URL metacharacters ('?', '#', '%', ...) — which an
+// everything-but-slashes-and-spaces rule used to let through — must be
+// rejected, not just the characters that break routing outright.
 func validName(name string) error {
-	if name == "" || strings.ContainsAny(name, "/ \t\n") {
-		return fmt.Errorf("server: invalid graph name %q (must be non-empty, no slashes or spaces)", name)
+	if name == "" {
+		return fmt.Errorf("server: invalid graph name %q (must be non-empty)", name)
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("server: invalid graph name %q (allowed characters: A-Z a-z 0-9 . _ -)", name)
+		}
 	}
 	return nil
 }
@@ -106,7 +120,14 @@ func (r *Registry) register(name, path string, g *light.Graph) (GraphInfo, error
 	defer r.mu.Unlock()
 	if prev, ok := r.byName[name]; ok {
 		if prev.g.Fingerprint() == fp {
-			return prev.info, nil // idempotent re-load of the same content
+			// Idempotent re-load of the same content: keep the original
+			// snapshot and LoadedAt, but track the file's current
+			// location — the caller may have re-loaded precisely because
+			// the file moved.
+			if path != "" {
+				prev.info.Path = path
+			}
+			return prev.info, nil
 		}
 		return GraphInfo{}, fmt.Errorf("server: graph name %q already registered with different content", name)
 	}
@@ -149,19 +170,50 @@ func (r *Registry) Get(name string) (*light.Graph, GraphInfo, bool) {
 }
 
 // Unload removes name from the registry, returning the snapshot's
-// fingerprint and whether any other name still references the same
-// content (cache invalidation must wait until the last reference is
-// gone only if the caller wants shared entries to survive; lightd
-// invalidates per-name unloads eagerly regardless).
-func (r *Registry) Unload(name string) (fingerprint uint64, existed bool) {
+// fingerprint and whether this was the last name referencing that
+// content. Load-once deduplication means several names can share one
+// snapshot (and its cached results); the cache must be invalidated only
+// when the last reference goes away, or unloading an alias would evict
+// entries the surviving names still serve from.
+func (r *Registry) Unload(name string) (fingerprint uint64, lastRef, existed bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.byName[name]
 	if !ok {
-		return 0, false
+		return 0, false, false
 	}
 	delete(r.byName, name)
-	return e.g.Fingerprint(), true
+	fp := e.g.Fingerprint()
+	for _, other := range r.byName {
+		if other.g.Fingerprint() == fp {
+			return fp, false, true
+		}
+	}
+	return fp, true, true
+}
+
+// RefreshInfo re-derives the registry metadata of every name sharing
+// the given graph after a mutation (ApplyEdges/Compact change the
+// fingerprint, sizes, and degree bound of all aliases at once),
+// returning the updated infos. The graph is matched by identity:
+// aliases share the one mutable *light.Graph.
+func (r *Registry) RefreshInfo(g *light.Graph) []GraphInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []GraphInfo
+	for _, e := range r.byName {
+		if e.g != g {
+			continue
+		}
+		e.info.Fingerprint = fmt.Sprintf("%016x", g.Fingerprint())
+		e.info.Vertices = g.NumVertices()
+		e.info.Edges = g.NumEdges()
+		e.info.MaxDegree = g.MaxDegree()
+		e.info.MemoryBytes = g.MemoryBytes()
+		e.info.Hubs = g.NumHubs()
+		out = append(out, e.info)
+	}
+	return out
 }
 
 // List returns the registered graphs, sorted by name.

@@ -103,6 +103,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /graphs", s.handleListGraphs)
 	s.mux.HandleFunc("POST /graphs", s.handleLoadGraph)
 	s.mux.HandleFunc("DELETE /graphs/{name}", s.handleUnloadGraph)
+	s.mux.HandleFunc("POST /graphs/{name}/edges", s.handleApplyEdges)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /enumerate", s.handleEnumerate)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)

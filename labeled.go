@@ -20,9 +20,15 @@ type LabeledGraph struct {
 }
 
 // WithLabels attaches labels to a graph: labels[v] is the label of
-// vertex v in g's (degree-ordered) numbering.
+// vertex v in g's (degree-ordered) numbering. The labeled view binds to
+// the graph's current CSR, so pending edge deltas must be compacted
+// first (later ApplyEdges calls on g do not change the labeled view).
 func WithLabels(g *Graph, labels []Label) (*LabeledGraph, error) {
-	lg, err := labeled.NewGraph(g.g, labels)
+	st := g.snap()
+	if st.ov != nil {
+		return nil, errors.New("light: WithLabels with pending edge deltas; call Compact first")
+	}
+	lg, err := labeled.NewGraph(st.base, labels)
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,7 @@ import (
 
 	"light/internal/admission"
 	"light/internal/arena"
+	"light/internal/delta"
 	"light/internal/engine"
 	"light/internal/estimate"
 	"light/internal/faultpoint"
@@ -52,63 +53,169 @@ var ErrTimeLimit = errors.New("light: time limit exceeded")
 // the paper).
 type VertexID = uint32
 
-// Graph is an immutable unlabeled undirected data graph in CSR form,
-// relabeled into degree order (the paper's ordered graph). Construction
-// retains the relabeling, so vertex ids from the caller's original
-// numbering can be translated with MapVertex.
+// Graph is an unlabeled undirected data graph in CSR form, relabeled
+// into degree order at construction (the paper's ordered graph).
+// Construction retains the relabeling, so vertex ids from the caller's
+// original numbering can be translated with MapVertex.
+//
+// A Graph is mutable through ApplyEdges, which publishes a new
+// copy-on-write snapshot without touching the base CSR: queries that
+// started earlier (or that pinned a Snapshot) keep seeing exactly the
+// adjacency they started with. Accessors and queries without an explicit
+// Options.Snapshot read the latest published snapshot. Compact folds
+// accumulated deltas back into a fresh CSR.
 type Graph struct {
-	g        *graph.Graph
+	// head is the current published snapshot, swapped atomically by
+	// ApplyEdges/Compact. Readers load it once and work with an
+	// immutable state; they never block on writers.
+	head atomic.Pointer[snapshotState]
+	// mu serializes writers (ApplyEdges, Compact). Readers do not take
+	// it.
+	mu sync.Mutex
+
 	oldToNew []graph.VertexID // nil when the original numbering is unknown
-
-	// statsOnce guards stats, the estimator's degree-distribution
-	// snapshot. It is computed once per graph and shared by every
-	// query's planner, so concurrent queries never redo (or race on)
-	// per-graph preparation.
-	statsOnce sync.Once
-	stats     estimate.GraphStats
 }
 
-// planStats returns the cached estimator statistics, computing them on
-// first use. Safe for concurrent queries.
-func (g *Graph) planStats() estimate.GraphStats {
-	g.statsOnce.Do(func() { g.stats = estimate.Collect(g.g) })
-	return g.stats
+// snapshotState is one immutable published view of a Graph: a base CSR
+// plus an optional copy-on-write edge overlay. All fields are read-only
+// after publication.
+type snapshotState struct {
+	base *graph.Graph
+	ov   *delta.Overlay // nil when the view equals base
+	gen  uint64
+	// stats caches the estimator's degree-distribution snapshot per
+	// base CSR; shared by every query's planner (and across overlay
+	// generations over the same base — the overlay shifts costs, never
+	// correctness, so planning from base statistics stays sound).
+	stats *baseStats
 }
 
-// NumVertices returns |V(G)|.
-func (g *Graph) NumVertices() int { return g.g.NumVertices() }
+type baseStats struct {
+	once  sync.Once
+	stats estimate.GraphStats
+}
 
-// NumEdges returns |E(G)|.
-func (g *Graph) NumEdges() int64 { return g.g.NumEdges() }
+// newGraph wraps a finalized CSR as a fresh generation-0 Graph.
+func newGraph(gg *graph.Graph, oldToNew []graph.VertexID) *Graph {
+	g := &Graph{oldToNew: oldToNew}
+	g.head.Store(&snapshotState{base: gg, stats: &baseStats{}})
+	return g
+}
 
-// MaxDegree returns the maximum vertex degree.
-func (g *Graph) MaxDegree() int { return g.g.MaxDegree() }
+// snap returns the latest published snapshot state.
+func (g *Graph) snap() *snapshotState { return g.head.Load() }
 
-// Degree returns the degree of v.
-func (g *Graph) Degree(v VertexID) int { return g.g.Degree(v) }
+func (s *snapshotState) numVertices() int {
+	if s.ov != nil {
+		return s.ov.NumVertices()
+	}
+	return s.base.NumVertices()
+}
 
-// Neighbors returns the sorted neighbor list of v. The returned slice
-// must not be modified.
-func (g *Graph) Neighbors(v VertexID) []VertexID { return g.g.Neighbors(v) }
+func (s *snapshotState) numEdges() int64 {
+	if s.ov != nil {
+		return s.ov.NumEdges()
+	}
+	return s.base.NumEdges()
+}
 
-// HasEdge reports whether the edge (u, v) exists.
-func (g *Graph) HasEdge(u, v VertexID) bool { return g.g.HasEdge(u, v) }
+func (s *snapshotState) maxDegree() int {
+	if s.ov != nil {
+		return s.ov.MaxDegree()
+	}
+	return s.base.MaxDegree()
+}
 
-// MemoryBytes returns the CSR memory footprint.
-func (g *Graph) MemoryBytes() int64 { return g.g.MemoryBytes() }
+func (s *snapshotState) fingerprint() uint64 {
+	if s.ov != nil {
+		return s.ov.Fingerprint()
+	}
+	return s.base.Fingerprint()
+}
 
-// Fingerprint returns a stable content hash of the graph's CSR
-// structure, identifying this snapshot for graph registries and result
-// caches (see cmd/lightd): equal fingerprints mean identical adjacency.
-// Computed once on first use; safe for concurrent callers.
-func (g *Graph) Fingerprint() uint64 { return g.g.Fingerprint() }
+func (s *snapshotState) deltaEdges() int {
+	if s.ov != nil {
+		return s.ov.DeltaEdges()
+	}
+	return 0
+}
+
+// planStats returns the cached estimator statistics for the snapshot's
+// base CSR, computing them once per base. Safe for concurrent queries.
+func (s *snapshotState) planStats() estimate.GraphStats {
+	s.stats.once.Do(func() { s.stats.stats = estimate.Collect(s.base) })
+	return s.stats.stats
+}
+
+// NumVertices returns |V(G)| of the latest snapshot.
+func (g *Graph) NumVertices() int { return g.snap().numVertices() }
+
+// NumEdges returns |E(G)| of the latest snapshot.
+func (g *Graph) NumEdges() int64 { return g.snap().numEdges() }
+
+// MaxDegree returns an upper bound on the maximum vertex degree of the
+// latest snapshot (exact when no edge deltas are pending).
+func (g *Graph) MaxDegree() int { return g.snap().maxDegree() }
+
+// Degree returns the degree of v in the latest snapshot.
+func (g *Graph) Degree(v VertexID) int {
+	s := g.snap()
+	if s.ov != nil {
+		return s.ov.Degree(v)
+	}
+	return s.base.Degree(v)
+}
+
+// Neighbors returns the sorted neighbor list of v in the latest
+// snapshot. The returned slice must not be modified.
+func (g *Graph) Neighbors(v VertexID) []VertexID {
+	s := g.snap()
+	if s.ov != nil {
+		return s.ov.Neighbors(v)
+	}
+	return s.base.Neighbors(v)
+}
+
+// HasEdge reports whether the edge (u, v) exists in the latest snapshot.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	s := g.snap()
+	if s.ov != nil {
+		return s.ov.HasEdge(u, v)
+	}
+	return s.base.HasEdge(u, v)
+}
+
+// MemoryBytes returns the CSR memory footprint (plus the overlay's,
+// when edge deltas are pending).
+func (g *Graph) MemoryBytes() int64 {
+	s := g.snap()
+	if s.ov != nil {
+		return s.base.MemoryBytes() + s.ov.MemoryBytes()
+	}
+	return s.base.MemoryBytes()
+}
+
+// Fingerprint returns a stable content hash of the latest snapshot's
+// adjacency, identifying it for graph registries and result caches (see
+// cmd/lightd): equal fingerprints mean identical adjacency. With pending
+// edge deltas the hash covers base plus delta, so every ApplyEdges batch
+// that changes the view changes the fingerprint. Computed once per
+// snapshot on first use; safe for concurrent callers.
+func (g *Graph) Fingerprint() uint64 { return g.snap().fingerprint() }
 
 // NumHubs returns how many vertices the current hub index holds
 // bitmaps for (0 when the index was dropped as not worthwhile).
-func (g *Graph) NumHubs() int { return g.g.NumHubs() }
+func (g *Graph) NumHubs() int { return g.snap().base.NumHubs() }
 
 // String summarizes the graph.
-func (g *Graph) String() string { return g.g.String() }
+func (g *Graph) String() string {
+	s := g.snap()
+	if s.ov != nil {
+		return fmt.Sprintf("%s (+%d pending delta edges, gen %d)",
+			s.base.String(), s.ov.DeltaEdges(), s.gen)
+	}
+	return s.base.String()
+}
 
 // NewGraph builds a data graph from an edge list over n vertices
 // (vertices beyond n grow the graph). Duplicate edges and self-loops are
@@ -120,7 +227,7 @@ func NewGraph(n int, edges [][2]VertexID) *Graph {
 		b.AddEdge(e[0], e[1])
 	}
 	g, mapping := graph.ReorderWithMapping(b.Build())
-	return &Graph{g: g, oldToNew: mapping}
+	return newGraph(g, mapping)
 }
 
 // MapVertex translates a vertex id from the numbering the graph was
@@ -165,13 +272,20 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		return nil, err
 	}
 	og, mapping := graph.ReorderWithMapping(g)
-	return &Graph{g: og, oldToNew: mapping}, nil
+	return newGraph(og, mapping), nil
 }
 
 // SaveCSR writes the graph to path in a compact binary CSR format that
 // LoadCSR reads back without re-parsing or re-sorting — the right format
-// for graphs that are queried repeatedly.
-func (g *Graph) SaveCSR(path string) error { return g.g.SaveCSR(path) }
+// for graphs that are queried repeatedly. Pending edge deltas are not
+// representable in the CSR format; call Compact first.
+func (g *Graph) SaveCSR(path string) error {
+	s := g.snap()
+	if s.ov != nil {
+		return errors.New("light: SaveCSR with pending edge deltas; call Compact first")
+	}
+	return s.base.SaveCSR(path)
+}
 
 // LoadCSR reads a graph written by SaveCSR. Graphs written by this
 // package are already degree-ordered; foreign CSR files are reordered on
@@ -184,7 +298,7 @@ func LoadCSR(path string) (*Graph, error) {
 	if !gg.IsOrdered() {
 		gg = graph.Reorder(gg)
 	}
-	return &Graph{g: gg}, nil
+	return newGraph(gg, nil), nil
 }
 
 // Pattern is an immutable unlabeled connected pattern graph (n ≤ 16).
@@ -386,6 +500,11 @@ type Options struct {
 	// 0 waits until the context is cancelled. Ignored without a
 	// Governor.
 	AdmissionTimeout time.Duration
+	// Snapshot, when non-nil, pins the run to that exact published view
+	// of the graph instead of the latest one: concurrent ApplyEdges
+	// calls never change what a pinned run enumerates. The snapshot
+	// must come from the same Graph the run is given.
+	Snapshot *Snapshot
 }
 
 // Result reports an enumeration.
@@ -415,8 +534,10 @@ type Result struct {
 	Report *RunReport
 }
 
-// preparePlan compiles the pattern under the options.
-func preparePlan(g *Graph, p *Pattern, opts Options) (*plan.Plan, error) {
+// preparePlan compiles the pattern under the options, planning from the
+// snapshot's base-CSR statistics (pending deltas shift costs, never the
+// match set, so base statistics keep the plan sound).
+func preparePlan(st *snapshotState, p *Pattern, opts Options) (*plan.Plan, error) {
 	po := pattern.SymmetryBreaking(p.p)
 	if opts.Order != nil {
 		pi := make([]pattern.Vertex, len(opts.Order))
@@ -425,7 +546,20 @@ func preparePlan(g *Graph, p *Pattern, opts Options) (*plan.Plan, error) {
 		}
 		return plan.Compile(p.p, po, pi, opts.Algorithm.mode())
 	}
-	return plan.Choose(p.p, po, g.planStats(), opts.Algorithm.mode())
+	return plan.Choose(p.p, po, st.planStats(), opts.Algorithm.mode())
+}
+
+// resolveState picks the snapshot a run enumerates: the pinned one when
+// Options.Snapshot is set (validated to belong to g), the latest
+// published one otherwise.
+func (g *Graph) resolveState(snap *Snapshot) (*snapshotState, error) {
+	if snap == nil {
+		return g.snap(), nil
+	}
+	if snap.owner != g {
+		return nil, errors.New("light: Options.Snapshot belongs to a different Graph")
+	}
+	return snap.st, nil
 }
 
 // Count returns the number of subgraphs of g isomorphic to p.
@@ -468,7 +602,15 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 	if err := opts.validate(); err != nil {
 		return Result{}, err
 	}
-	pl, err := preparePlan(g, p, opts)
+	st, err := g.resolveState(opts.Snapshot)
+	if err != nil {
+		return Result{}, err
+	}
+	if st.ov != nil && (opts.CheckpointPath != "" || opts.ResumeFrom != "") {
+		return Result{}, errors.New(
+			"light: checkpoint/resume require a compacted snapshot; call Compact before checkpointing")
+	}
+	pl, err := preparePlan(st, p, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -478,7 +620,7 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 		// graph rebuilds the index once; concurrent and later queries —
 		// even with a conflicting τ — share that build instead of
 		// thrashing rebuilds (see graph.EnsureHubIndex).
-		g.g.EnsureHubIndex(opts.HubDegreeThreshold)
+		st.base.EnsureHubIndex(opts.HubDegreeThreshold)
 	}
 	eopts := engine.Options{
 		Kernel:    opts.Intersection.kind(),
@@ -486,6 +628,7 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 		TailCount: opts.TailCount,
 		Filter:    opts.Filter,
 		Metrics:   rec,
+		Overlay:   st.ov,
 	}
 	start := time.Now()
 	var res Result
@@ -541,7 +684,7 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 		runLim := arena.NewLimiter(opts.MemoryBudget, govLim)
 		defer runLim.ReleaseAll()
 		popts.MemLimiter = runLim
-		popts.Workers, degradations, err = sizeWorkers(popts.Workers, g, p, runLim, degradations)
+		popts.Workers, degradations, err = sizeWorkers(popts.Workers, st.maxDegree(), p.NumVertices(), runLim, degradations)
 		if err != nil {
 			return Result{}, err
 		}
@@ -552,7 +695,7 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 		// retire to a waiting query with root chunks still unclaimed.
 		popts.Gate.ReleaseTo(popts.Workers)
 
-		pres, err := parallel.RunContext(ctx, g.g, pl, popts, visit)
+		pres, err := parallel.RunContext(ctx, st.base, pl, popts, visit)
 		if n := runLim.TightGrows(); n > 0 {
 			degradations = append(degradations, fmt.Sprintf(
 				"memory: %d exact-size arena slab grows under budget pressure", n))
@@ -569,10 +712,12 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 		res = fill(res, pres.Result, time.Since(start))
 		res.CandidateMemoryBytes = pres.CandidateMemBytes
 		res.Report = newRunReport(rec, opts, pres.Workers, res.Duration, res.CandidateMemoryBytes, &pres, degradations)
+		res.Report.DeltaEdges = st.deltaEdges()
+		res.Report.SnapshotGen = st.gen
 		return res, mapErr(err)
 	}
 
-	e := engine.New(g.g, pl, eopts)
+	e := engine.New(st.base, pl, eopts)
 	var ctxStop atomic.Bool
 	e.Stop = &ctxStop
 	release := supervise.WatchContext(ctx, func() { ctxStop.Store(true) })
@@ -588,6 +733,8 @@ func run(ctx context.Context, g *Graph, p *Pattern, opts Options, visit engine.V
 	res.CandidateMemoryBytes = e.CandidateMemoryBytes()
 	rec.Add(metrics.ArenaBytes, uint64(res.CandidateMemoryBytes))
 	res.Report = newRunReport(rec, opts, 1, res.Duration, res.CandidateMemoryBytes, nil, nil)
+	res.Report.DeltaEdges = st.deltaEdges()
+	res.Report.SnapshotGen = st.gen
 	if verr := visitErr(); verr != nil {
 		err = verr
 	}
@@ -628,7 +775,7 @@ func mapErr(err error) error {
 // ErrMemoryBudget stop remains as the last resort for predictions the
 // estimate cannot see (the prediction covers per-worker candidate
 // buffers, the dominant term).
-func sizeWorkers(workers int, g *Graph, p *Pattern, lim *arena.Limiter, degradations []string) (int, []string, error) {
+func sizeWorkers(workers, maxDegree, patternVerts int, lim *arena.Limiter, degradations []string) (int, []string, error) {
 	head := lim.Headroom()
 	if head < 0 {
 		return workers, degradations, nil
@@ -638,8 +785,8 @@ func sizeWorkers(workers int, g *Graph, p *Pattern, lim *arena.Limiter, degradat
 	}
 	// Per-worker worst case: one cap-d_max buffer per pattern vertex
 	// plus one scratch buffer.
-	allocs := p.NumVertices() + 1
-	tightEst := arena.EstimateBytes(allocs, g.MaxDegree(), true)
+	allocs := patternVerts + 1
+	tightEst := arena.EstimateBytes(allocs, maxDegree, true)
 	if tightEst <= 0 || int64(workers)*tightEst <= head {
 		return workers, degradations, nil
 	}
@@ -665,7 +812,11 @@ func sizeWorkers(workers int, g *Graph, p *Pattern, lim *arena.Limiter, degradat
 // (together with Graph.Fingerprint and the option set) a sound result
 // cache key; see cmd/lightd.
 func PlanKey(g *Graph, p *Pattern, opts Options) (string, error) {
-	pl, err := preparePlan(g, p, opts)
+	st, err := g.resolveState(opts.Snapshot)
+	if err != nil {
+		return "", err
+	}
+	pl, err := preparePlan(st, p, opts)
 	if err != nil {
 		return "", err
 	}
@@ -677,9 +828,13 @@ func PlanKey(g *Graph, p *Pattern, opts Options) (string, error) {
 // COMP operands and MAT symmetry checks, anchor/free structure, and the
 // cost-model breakdown — the library's EXPLAIN.
 func Explain(g *Graph, p *Pattern, opts Options) (string, error) {
-	pl, err := preparePlan(g, p, opts)
+	st, err := g.resolveState(opts.Snapshot)
 	if err != nil {
 		return "", err
 	}
-	return pl.Explain(estimate.Collect(g.g)), nil
+	pl, err := preparePlan(st, p, opts)
+	if err != nil {
+		return "", err
+	}
+	return pl.Explain(st.planStats()), nil
 }

@@ -98,6 +98,14 @@ type RunReport struct {
 	// unpressured run.
 	DegradationEvents []string `json:"degradation_events,omitempty"`
 
+	// DeltaEdges is how many pending edge insertions plus deletions the
+	// run's snapshot carried over its base CSR (0 for a compacted or
+	// never-mutated graph).
+	DeltaEdges int `json:"delta_edges,omitempty"`
+	// SnapshotGen is the generation of the snapshot the run enumerated
+	// (0 for a never-mutated graph).
+	SnapshotGen uint64 `json:"snapshot_gen,omitempty"`
+
 	// CandidateMemoryBytes is the candidate-buffer memory across workers.
 	CandidateMemoryBytes int64 `json:"candidate_memory_bytes"`
 	// ArenaBytes is the slab footprint of the per-worker candidate
